@@ -1,0 +1,201 @@
+// Repository-level benchmarks: one testing.B benchmark per paper table
+// and figure (driving the same harness as cmd/clipbench), plus
+// micro-benchmarks for the hot paths of the framework itself.
+//
+// Run with: go test -bench=. -benchmem
+package repro
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/mlr"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var (
+	ctxOnce  sync.Once
+	benchCtx *bench.Context
+)
+
+func sharedContext(b *testing.B) *bench.Context {
+	b.Helper()
+	ctxOnce.Do(func() {
+		benchCtx = bench.NewContext()
+		// Force CLIP construction (NP-model training) outside timing.
+		if _, err := benchCtx.CLIP(); err != nil {
+			panic(err)
+		}
+	})
+	return benchCtx
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	ctx := sharedContext(b)
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(ctx, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig1(b *testing.B)         { benchExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)         { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)         { benchExperiment(b, "fig3") }
+func BenchmarkFig6(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)         { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkTab1(b *testing.B)         { benchExperiment(b, "tab1") }
+func BenchmarkTab2(b *testing.B)         { benchExperiment(b, "tab2") }
+func BenchmarkAblVar(b *testing.B)       { benchExperiment(b, "abl-var") }
+func BenchmarkAblPhase(b *testing.B)     { benchExperiment(b, "abl-phase") }
+func BenchmarkAblEven(b *testing.B)      { benchExperiment(b, "abl-even") }
+func BenchmarkOptimal(b *testing.B)      { benchExperiment(b, "optimal") }
+func BenchmarkDesValidate(b *testing.B)  { benchExperiment(b, "des-validate") }
+func BenchmarkMultiJob(b *testing.B)     { benchExperiment(b, "multijob") }
+func BenchmarkExtSuite(b *testing.B)     { benchExperiment(b, "ext-suite") }
+func BenchmarkEnergy(b *testing.B)       { benchExperiment(b, "energy") }
+func BenchmarkOverprov(b *testing.B)     { benchExperiment(b, "overprovision") }
+func BenchmarkRobustness(b *testing.B)   { benchExperiment(b, "robustness") }
+func BenchmarkCtrlTrace(b *testing.B)    { benchExperiment(b, "ctrl-trace") }
+func BenchmarkWeakScaling(b *testing.B)  { benchExperiment(b, "weak-scaling") }
+func BenchmarkOverhead(b *testing.B)     { benchExperiment(b, "overhead") }
+func BenchmarkDemandResp(b *testing.B)   { benchExperiment(b, "demand-response") }
+func BenchmarkAblThreshold(b *testing.B) { benchExperiment(b, "abl-threshold") }
+
+// Micro-benchmarks of the framework hot paths.
+
+// BenchmarkSimRun measures one capped 8-node simulation — the unit of
+// work every experiment multiplies.
+func BenchmarkSimRun(b *testing.B) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0.02, 1)
+	app := workload.LUMZ()
+	cfg := sim.Config{Nodes: 8, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 150, Mem: 40}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cl, app, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmartProfile measures the three-sample profiling flow.
+func BenchmarkSmartProfile(b *testing.B) {
+	ctx := sharedContext(b)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr := &profile.Profiler{Cluster: ctx.Cluster}
+	app := workload.TeaLeaf()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pr.Full(app, clip.NPModel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainNP measures the offline regression training.
+func BenchmarkTrainNP(b *testing.B) {
+	cl := hw.NewCluster(1, hw.HaswellSpec(), 0, 1)
+	apps := workload.TrainingSet(42, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perfmodel.TrainNP(cl, apps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMLRFit measures the normal-equations solver on a Table I
+// sized problem.
+func BenchmarkMLRFit(b *testing.B) {
+	r := rng.New(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 42; i++ {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = r.Range(0, 25)
+		}
+		x = append(x, row)
+		y = append(y, r.Range(2, 24))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mlr.Fit(x, y, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCLIPSchedule measures a warm scheduling decision (profiles
+// cached) — the paper's "low overhead" claim.
+func BenchmarkCLIPSchedule(b *testing.B) {
+	ctx := sharedContext(b)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := workload.SPMZ()
+	if _, err := clip.Schedule(app, 1200); err != nil { // warm cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clip.Schedule(app, 1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdCLIP measures full construction including NP-model
+// training, the one-time offline cost.
+func BenchmarkColdCLIP(b *testing.B) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.New(cl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSearch measures the exhaustive oracle CLIP replaces.
+func BenchmarkOptimalSearch(b *testing.B) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0, 1)
+	app := workload.SPMZ()
+	opt := &baseline.Optimal{MemSteps: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := opt.Plan(cl, app, 1200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := plan.Execute(cl, app, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

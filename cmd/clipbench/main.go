@@ -1,0 +1,61 @@
+// Command clipbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	clipbench -list
+//	clipbench -exp fig8
+//	clipbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	list := flag.Bool("list", false, "list available experiments")
+	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	ctx := bench.NewContext()
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", err)
+			os.Exit(1)
+		}
+		ctx.FigureDir = *svgDir
+	}
+	var ids []string
+	if *exp == "all" {
+		for _, e := range bench.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, ok := bench.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "clipbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		if err := e.Run(ctx, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "clipbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,162 @@
+// Command clipjobs drives the power-bounded multi-job runtime scheduler
+// over a job stream, comparing queueing policies.
+//
+// The stream is given as JSON (or a built-in demo stream with -demo):
+//
+//	[
+//	  {"id": "j1", "app": "lu-mz.C", "arrival": 0},
+//	  {"id": "j2", "app": "comd", "arrival": 5, "nodes": 4}
+//	]
+//
+// Usage:
+//
+//	clipjobs -demo -bound 1400
+//	clipjobs -stream jobs.json -bound 1200 -policy backfill -realloc
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/jobsched"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// jobSpec is the JSON wire format of one job.
+type jobSpec struct {
+	ID      string  `json:"id"`
+	App     string  `json:"app"`
+	Arrival float64 `json:"arrival"`
+	// Nodes optionally pins the MPI process count.
+	Nodes int `json:"nodes,omitempty"`
+}
+
+func main() {
+	streamPath := flag.String("stream", "", "JSON job stream file")
+	demo := flag.Bool("demo", false, "run a built-in demo stream")
+	bound := flag.Float64("bound", 1400, "cluster power bound (W, CPU+DRAM domains)")
+	policy := flag.String("policy", "all", "fcfs, backfill, aggressive, or 'all' to compare")
+	realloc := flag.Bool("realloc", false, "enable POWsched-style power reallocation (single-policy mode)")
+	flag.Parse()
+
+	jobs, err := loadJobs(*streamPath, *demo)
+	if err != nil {
+		fatal(err)
+	}
+	cluster := hw.Haswell()
+	clip, err := core.New(cluster)
+	if err != nil {
+		fatal(err)
+	}
+
+	type variant struct {
+		name string
+		cfg  jobsched.Config
+	}
+	var variants []variant
+	switch *policy {
+	case "all":
+		variants = []variant{
+			{"fcfs", jobsched.Config{Bound: *bound, Policy: jobsched.FCFS}},
+			{"backfill", jobsched.Config{Bound: *bound, Policy: jobsched.Backfill}},
+			{"aggressive", jobsched.Config{Bound: *bound, Policy: jobsched.AggressiveBackfill}},
+			{"aggressive+realloc", jobsched.Config{Bound: *bound, Policy: jobsched.AggressiveBackfill, Reallocate: true}},
+		}
+	default:
+		p, err := parsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		variants = []variant{{*policy, jobsched.Config{Bound: *bound, Policy: p, Reallocate: *realloc}}}
+	}
+
+	fmt.Printf("%d jobs under a %.0f W bound on the 8-node cluster\n\n", len(jobs), *bound)
+	t := trace.NewTable("policy", "makespan_s", "avg_wait_s", "avg_turnaround_s", "power_use_%")
+	var last *jobsched.Stats
+	for _, v := range variants {
+		s, err := jobsched.New(cluster, clip, v.cfg)
+		if err != nil {
+			fatal(err)
+		}
+		st, err := s.Run(jobs)
+		if err != nil {
+			fatal(err)
+		}
+		t.Add(v.name, st.Makespan, st.AvgWait, st.AvgTurnaround, 100*st.AvgPowerUse)
+		last = st
+	}
+	t.Render(os.Stdout)
+
+	fmt.Printf("\nper-job schedule (%s):\n", variants[len(variants)-1].name)
+	jt := trace.NewTable("job", "arrival", "start", "finish", "nodes", "cores", "perNode_W", "boosted")
+	for _, j := range last.Jobs {
+		jt.Add(j.ID, j.Arrival, j.Start, j.Finish, j.Nodes, j.Cores, j.PerNodeW, j.Boosted)
+	}
+	jt.Render(os.Stdout)
+}
+
+func parsePolicy(s string) (jobsched.Policy, error) {
+	switch s {
+	case "fcfs":
+		return jobsched.FCFS, nil
+	case "backfill":
+		return jobsched.Backfill, nil
+	case "aggressive":
+		return jobsched.AggressiveBackfill, nil
+	default:
+		return 0, fmt.Errorf("clipjobs: unknown policy %q", s)
+	}
+}
+
+func loadJobs(path string, demo bool) ([]jobsched.Job, error) {
+	var specs []jobSpec
+	switch {
+	case path != "":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := json.Unmarshal(data, &specs); err != nil {
+			return nil, fmt.Errorf("clipjobs: parse stream: %w", err)
+		}
+	case demo:
+		specs = []jobSpec{
+			{ID: "lu", App: "lu-mz.C", Arrival: 0},
+			{ID: "comd4", App: "comd", Arrival: 3, Nodes: 4},
+			{ID: "sp", App: "sp-mz.C", Arrival: 6},
+			{ID: "tea4", App: "tealeaf", Arrival: 9, Nodes: 4},
+			{ID: "amg", App: "amg", Arrival: 12},
+			{ID: "hpcg4", App: "hpcg", Arrival: 15, Nodes: 4},
+		}
+	default:
+		return nil, fmt.Errorf("clipjobs: need -stream FILE or -demo")
+	}
+
+	jobs := make([]jobsched.Job, 0, len(specs))
+	for i, sp := range specs {
+		app, err := workload.SuiteByName(sp.App)
+		if err != nil {
+			return nil, err
+		}
+		if sp.Nodes > 0 {
+			app.Name = fmt.Sprintf("%s.n%d", app.Name, sp.Nodes)
+			app.ProcCounts = []int{sp.Nodes}
+		}
+		id := sp.ID
+		if id == "" {
+			id = fmt.Sprintf("job%d", i)
+		}
+		jobs = append(jobs, jobsched.Job{ID: id, App: app, Arrival: sp.Arrival})
+	}
+	return jobs, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clipjobs:", err)
+	os.Exit(1)
+}

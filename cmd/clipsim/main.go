@@ -1,0 +1,121 @@
+// Command clipsim schedules and executes one application on the
+// simulated power-bounded cluster with a chosen method.
+//
+// Usage:
+//
+//	clipsim -app sp-mz.C -budget 1200
+//	clipsim -app lu-mz.C -budget 800 -method coordinated
+//	clipsim -app comd -budget 1800 -method all   # compare every method
+//	clipsim -spec custom.json -app myapp          # user-defined workload
+//	clipsim -app lu-mz.C -weak                    # weak-scaled variant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "sp-mz.C", "application name (see clipbench -exp tab2)")
+	budget := flag.Float64("budget", 1200, "cluster power budget in watts (CPU+DRAM domains)")
+	method := flag.String("method", "clip", "scheduler: clip, all-in, lower-limit, coordinated, optimal, or 'all'")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	sigma := flag.Float64("sigma", 0.02, "manufacturing variability sigma")
+	specPath := flag.String("spec", "", "JSON workload file; -app then selects by name within it")
+	weak := flag.Bool("weak", false, "run the weak-scaled variant of the application")
+	flag.Parse()
+
+	app, err := resolveApp(*specPath, *appName)
+	if err != nil {
+		fatal(err)
+	}
+	if *weak {
+		app = app.WeakScaled()
+	}
+	cl := hw.NewCluster(*nodes, hw.HaswellSpec(), *sigma, 42)
+
+	methods, err := selectMethods(cl, *method)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := trace.NewTable("method", "nodes", "cores", "affinity", "per-node budget",
+		"runtime_s", "avg_power_W", "energy_kJ")
+	for _, m := range methods {
+		p, err := m.Plan(cl, app, *budget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clipsim: %s: %v\n", m.Name(), err)
+			continue
+		}
+		if err := p.Validate(cl, *budget); err != nil {
+			fatal(fmt.Errorf("%s produced an invalid plan: %w", m.Name(), err))
+		}
+		res, err := plan.Execute(cl, app, p)
+		if err != nil {
+			fatal(err)
+		}
+		t.Add(m.Name(), p.Nodes(), p.Cores, p.Affinity.String(),
+			p.PerNode[0].String(), res.Time, res.AvgPower, res.Energy/1000)
+	}
+	fmt.Printf("application %s under a %.0f W cluster power bound (%d nodes available)\n\n",
+		app.Name, *budget, *nodes)
+	t.Render(os.Stdout)
+}
+
+// resolveApp finds the application in the built-in catalogue or, when
+// specPath is given, in the user-provided JSON workload file.
+func resolveApp(specPath, name string) (*workload.Spec, error) {
+	if specPath == "" {
+		return workload.SuiteByName(name)
+	}
+	specs, err := workload.LoadSpecs(specPath)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("clipsim: %q not found in %s", name, specPath)
+}
+
+func selectMethods(cl *hw.Cluster, name string) ([]plan.Method, error) {
+	newCLIP := func() (plan.Method, error) { return core.New(cl) }
+	switch name {
+	case "clip":
+		m, err := newCLIP()
+		return []plan.Method{m}, err
+	case "all-in":
+		return []plan.Method{&baseline.AllIn{}}, nil
+	case "lower-limit":
+		return []plan.Method{&baseline.LowerLimit{}}, nil
+	case "coordinated":
+		return []plan.Method{&baseline.Coordinated{}}, nil
+	case "optimal":
+		return []plan.Method{&baseline.Optimal{}}, nil
+	case "all":
+		clip, err := newCLIP()
+		if err != nil {
+			return nil, err
+		}
+		return []plan.Method{
+			&baseline.AllIn{}, &baseline.LowerLimit{}, &baseline.Coordinated{}, clip,
+		}, nil
+	default:
+		return nil, fmt.Errorf("clipsim: unknown method %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clipsim:", err)
+	os.Exit(1)
+}

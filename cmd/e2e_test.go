@@ -1,0 +1,139 @@
+// End-to-end tests for the command-line tools: each binary is built
+// once and exercised with realistic arguments; output markers assert
+// the full stack works through the CLI surface.
+package cmd_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// binDir holds the built binaries for the test process.
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "clip-bin")
+	if err != nil {
+		panic(err)
+	}
+	// Build all four tools in one invocation.
+	cmd := exec.Command("go", "build", "-o", dir,
+		"repro/cmd/clipsim", "repro/cmd/clipprof", "repro/cmd/clipbench", "repro/cmd/clipjobs")
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		panic("build failed: " + string(out))
+	}
+	binDir = dir
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// run executes a built binary and returns its combined output.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(binDir, bin), args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v failed: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func mustContain(t *testing.T, out string, markers ...string) {
+	t.Helper()
+	for _, m := range markers {
+		if !strings.Contains(out, m) {
+			t.Errorf("output missing %q:\n%s", m, out)
+		}
+	}
+}
+
+func TestClipsimAllMethods(t *testing.T) {
+	out := run(t, "clipsim", "-app", "tealeaf", "-budget", "1000", "-method", "all")
+	mustContain(t, out, "All-In", "Lower-Limit", "Coordinated", "CLIP", "runtime_s", "tealeaf")
+}
+
+func TestClipsimWeak(t *testing.T) {
+	out := run(t, "clipsim", "-app", "comd", "-budget", "1500", "-weak")
+	mustContain(t, out, "comd.weak")
+}
+
+func TestClipsimCustomSpec(t *testing.T) {
+	spec := `[{"Name":"custom","Iterations":60,
+	  "Phases":[{"Name":"main","ParallelCycles":30,"MemoryBytes":20,"SyncCoeff":0.02,"Overlap":0.6}],
+	  "CommBytes":0.2,"SurfaceExp":0.5,"CommLatFactor":1,"ICacheMPKI":1,"IPC":1.5}]`
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "clipsim", "-spec", path, "-app", "custom", "-budget", "900")
+	mustContain(t, out, "custom", "CLIP")
+}
+
+func TestClipsimRejectsUnknownApp(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "clipsim"), "-app", "nope")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown app accepted:\n%s", out)
+	}
+}
+
+func TestClipprofSuiteAndDB(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "kb.json")
+	out := run(t, "clipprof", "-suite", "-db", db)
+	mustContain(t, out, "bt-mz.C", "logarithmic", "parabolic", "linear",
+		"knowledge database (10 entries)")
+	if _, err := os.Stat(db); err != nil {
+		t.Error("knowledge database not written")
+	}
+}
+
+func TestClipprofSingleApp(t *testing.T) {
+	out := run(t, "clipprof", "-app", "stream")
+	mustContain(t, out, "stream", "scatter", "logarithmic")
+}
+
+func TestClipbenchListAndOneExperiment(t *testing.T) {
+	out := run(t, "clipbench", "-list")
+	mustContain(t, out, "fig1", "fig9", "tab2", "multijob", "des-validate")
+
+	out = run(t, "clipbench", "-exp", "tab2")
+	mustContain(t, out, "bt-mz.C", "scalability_type")
+}
+
+func TestClipbenchSVG(t *testing.T) {
+	dir := t.TempDir()
+	run(t, "clipbench", "-exp", "fig6", "-svg", dir)
+	data, err := os.ReadFile(filepath.Join(dir, "fig6-classification.svg"))
+	if err != nil {
+		t.Fatalf("SVG not written: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("not an SVG file")
+	}
+}
+
+func TestClipbenchUnknownExperiment(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "clipbench"), "-exp", "nope")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", out)
+	}
+}
+
+func TestClipjobsDemo(t *testing.T) {
+	out := run(t, "clipjobs", "-demo", "-bound", "1300", "-policy", "aggressive", "-realloc")
+	mustContain(t, out, "per-job schedule", "makespan_s", "lu")
+}
+
+func TestClipjobsStreamFile(t *testing.T) {
+	stream := `[{"id":"j1","app":"comd","arrival":0,"nodes":4},
+	            {"id":"j2","app":"amg","arrival":2}]`
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	if err := os.WriteFile(path, []byte(stream), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := run(t, "clipjobs", "-stream", path, "-bound", "1400", "-policy", "fcfs")
+	mustContain(t, out, "j1", "j2", "fcfs")
+}

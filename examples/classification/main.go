@@ -1,0 +1,48 @@
+// Classification: run smart profiling over the whole benchmark suite
+// and print the affinity decision, scalability class and predicted
+// inflection point for each application — the workflow behind
+// Figures 6 and 7.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	cluster := hw.Haswell()
+	clip, err := core.New(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inflection-point regression: R²=%.3f on the training set (MAE %.2f cores)\n\n",
+		clip.NPModel.TrainR2, clip.NPModel.TrainMAE)
+
+	t := trace.NewTable("application", "pattern", "affinity", "half/all ratio",
+		"class", "NP(pred)", "NP(actual)")
+	for _, app := range workload.Suite() {
+		p, err := clip.Profile(app)
+		if err != nil {
+			log.Fatal(err)
+		}
+		actual := "-"
+		if p.Class != workload.Linear {
+			np, err := perfmodel.GroundTruthNP(cluster, app, p.Affinity)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual = fmt.Sprintf("%d", np)
+		}
+		t.Add(app.Name, app.Pattern, p.Affinity.String(), p.Ratio,
+			p.Class.String(), p.PredictedNP, actual)
+	}
+	t.Render(os.Stdout)
+	fmt.Println("\nclasses follow the paper's rule: ratio <0.7 linear, <1.0 logarithmic, >=1.0 parabolic")
+}

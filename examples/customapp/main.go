@@ -1,0 +1,71 @@
+// Customapp: author a workload model in code (see WORKLOADS.md for the
+// knobs), let CLIP profile and classify it from scratch, and schedule
+// it under a bound — the downstream-user flow for applications outside
+// the built-in catalogue.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	// A memory-leaning CFD-style solver: big bandwidth appetite, mild
+	// synchronisation, 3-D halo exchange across ranks.
+	myapp := &workload.Spec{
+		Name:              "mycfd",
+		Pattern:           "compute/memory",
+		Iterations:        120,
+		ProfileIterations: 4,
+		Phases: []workload.Phase{
+			{Name: "flux", ParallelCycles: 30, MemoryBytes: 48,
+				SyncCoeff: 0.03, Overlap: 0.55},
+			{Name: "update", SerialCycles: 0.15, ParallelCycles: 12,
+				MemoryBytes: 20, SyncCoeff: 0.05, Overlap: 0.4},
+		},
+		CommBytes: 0.35, SurfaceExp: 2.0 / 3.0, CommLatFactor: 2,
+		CoreBWFactor: 1.1, ICacheMPKI: 1.2, IPC: 1.4,
+	}
+	if err := myapp.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	cluster := hw.Haswell()
+	clip, err := core.New(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// First contact: CLIP profiles the unknown application (two or
+	// three short sample runs), classifies it and predicts NP.
+	prof, err := clip.Profile(myapp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profiled %s: class=%s affinity=%s ratio=%.3f predicted NP=%d\n",
+		prof.App, prof.Class, prof.Affinity, prof.Ratio, prof.PredictedNP)
+	actual, err := perfmodel.GroundTruthNP(cluster, myapp, prof.Affinity)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exhaustive-search ground truth NP: %d\n\n", actual)
+
+	for _, bound := range []float64{2000, 1000, 600} {
+		d, err := clip.Schedule(myapp, bound)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := plan.Execute(cluster, myapp, d.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("bound %5.0f W -> %d nodes x %d cores (%s), runtime %.1f s\n",
+			bound, d.Plan.Nodes(), d.Plan.Cores, d.Plan.PerNode[0], res.Time)
+	}
+}

@@ -1,0 +1,68 @@
+// Powersweep: compare CLIP against the paper's baselines (All-In,
+// Lower-Limit, Coordinated) for one application across a range of
+// cluster power budgets — the downstream view of Figures 8 and 9.
+//
+// Usage: go run ./examples/powersweep [-app tealeaf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "tealeaf", "application to sweep")
+	flag.Parse()
+
+	app, err := workload.SuiteByName(*appName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster := hw.Haswell()
+	clip, err := core.New(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+	methods := []plan.Method{
+		&baseline.AllIn{}, &baseline.LowerLimit{}, &baseline.Coordinated{}, clip,
+	}
+
+	budgets := []float64{2400, 2000, 1600, 1200, 1000, 800, 600}
+	t := trace.NewTable("budget_W", "All-In", "Lower-Limit", "Coordinated", "CLIP", "CLIP_gain_%")
+	for _, bound := range budgets {
+		perfs := make([]float64, len(methods))
+		for i, m := range methods {
+			p, err := m.Plan(cluster, app, bound)
+			if err != nil {
+				perfs[i] = 0
+				continue
+			}
+			res, err := plan.Execute(cluster, app, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perfs[i] = res.Perf()
+		}
+		bestOther := perfs[0]
+		for _, v := range perfs[1 : len(perfs)-1] {
+			if v > bestOther {
+				bestOther = v
+			}
+		}
+		clipPerf := perfs[len(perfs)-1]
+		t.Add(bound, perfs[0]*1e3, perfs[1]*1e3, perfs[2]*1e3, clipPerf*1e3,
+			100*(clipPerf/bestOther-1))
+	}
+	fmt.Printf("performance (1/runtime ×1000) of %s across cluster power budgets\n\n", app.Name)
+	t.Render(os.Stdout)
+	fmt.Println("\nCLIP_gain_% is CLIP against the best of the three baselines at that budget.")
+}

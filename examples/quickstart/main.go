@@ -1,0 +1,48 @@
+// Quickstart: schedule one application on the simulated 8-node Haswell
+// cluster under a 1000 W power bound with CLIP and print the decision
+// and the executed result.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The paper's testbed: 8 dual-socket 12-core Haswell nodes.
+	cluster := hw.Haswell()
+
+	// Build CLIP; this trains the inflection-point regression offline
+	// on the synthetic training set (one-time cost).
+	clip, err := core.New(cluster)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	app := workload.SPMZ() // a parabolic application
+	const bound = 1000.0   // watts across CPU+DRAM of all nodes
+
+	// Schedule: smart profiling (3 short sample runs) happens on the
+	// first call and is cached in the knowledge database afterwards.
+	decision, err := clip.Schedule(app, bound)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := decision.Plan
+	fmt.Printf("CLIP decision for %s under %.0f W:\n", app.Name, bound)
+	fmt.Printf("  nodes: %d  cores/node: %d  affinity: %s\n", p.Nodes(), p.Cores, p.Affinity)
+	fmt.Printf("  per-node budget: %s\n", p.PerNode[0])
+	fmt.Printf("  rationale: %s\n\n", p.Notes)
+
+	res, err := plan.Execute(cluster, app, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed: runtime %.1f s, managed power %.0f W (bound %.0f W), energy %.0f kJ\n",
+		res.Time, res.ManagedPower, bound, res.Energy/1000)
+}

@@ -1,0 +1,154 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§V) plus the ablations DESIGN.md calls out. Each
+// experiment is deterministic and renders its result as text tables /
+// ASCII charts; cmd/clipbench drives them and bench_test.go wraps them
+// in testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Context carries shared state across experiments: the testbed model
+// and a lazily constructed CLIP instance (training the NP regression
+// once, like the paper's offline training).
+type Context struct {
+	Cluster *hw.Cluster
+	// FigureDir, when non-empty, receives SVG renditions of the
+	// figure-shaped experiment outputs (clipbench -svg).
+	FigureDir string
+
+	mu   sync.Mutex
+	clip *core.CLIP
+}
+
+// SaveLine writes an SVG line chart into FigureDir (no-op when unset).
+func (c *Context) SaveLine(name, title, xLabel, yLabel string, x []float64, names []string, ys [][]float64) error {
+	if c.FigureDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(c.FigureDir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.SVGLineChart(f, title, xLabel, yLabel, x, names, ys)
+}
+
+// SaveBars writes an SVG grouped bar chart into FigureDir (no-op when
+// unset).
+func (c *Context) SaveBars(name, title string, labels, names []string, values [][]float64) error {
+	if c.FigureDir == "" {
+		return nil
+	}
+	f, err := os.Create(filepath.Join(c.FigureDir, name+".svg"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.SVGBarChart(f, title, labels, names, values)
+}
+
+// NewContext builds a context on the paper's 8-node Haswell testbed.
+func NewContext() *Context { return &Context{Cluster: hw.Haswell()} }
+
+// CLIP returns the shared scheduler, constructing it on first use.
+func (c *Context) CLIP() (*core.CLIP, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.clip == nil {
+		cl, err := core.New(c.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		c.clip = cl
+	}
+	return c.clip, nil
+}
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	// ID is the short handle (fig1..fig9, tab1, tab2, abl-*, optimal).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Paper describes the corresponding artifact in the paper.
+	Paper string
+	// Run executes the experiment and writes its report.
+	Run func(ctx *Context, w io.Writer) error
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+// register adds an experiment (called from init functions of the
+// per-figure files).
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment, ordered by ID with figures
+// first.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// header prints a standard experiment banner.
+func header(w io.Writer, e Experiment) {
+	fmt.Fprintf(w, "### %s — %s\n", e.ID, e.Title)
+	fmt.Fprintf(w, "(paper: %s)\n\n", e.Paper)
+}
+
+// suiteApps returns the Table II applications in a stable order.
+func suiteApps() []*workload.Spec { return workload.Suite() }
+
+// newCLIPFor builds a fresh CLIP for an alternate cluster (ablations
+// that vary the machine rather than the workload).
+func newCLIPFor(cl *hw.Cluster) (*core.CLIP, error) { return core.New(cl) }
+
+// appByName resolves any catalogue application.
+func appByName(name string) (*workload.Spec, error) { return workload.SuiteByName(name) }
+
+// planAllCores builds the naive all-core plan at a uniform split of the
+// bound over n nodes (30 W DRAM like the baselines).
+func planAllCores(ctx *Context, nodes int, bound float64) *plan.Plan {
+	perNode := bound / float64(nodes)
+	mem := 30.0
+	return &plan.Plan{
+		NodeIDs:  plan.FirstN(nodes),
+		Cores:    ctx.Cluster.Spec().Cores(),
+		Affinity: workload.Scatter,
+		PerNode:  plan.UniformBudgets(nodes, power.Budget{CPU: perNode - mem, Mem: mem}),
+	}
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/plan"
+)
+
+// sharedCtx is reused across subtests so the NP regression trains once.
+var sharedCtx = NewContext()
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
+		"tab1", "tab2", "abl-var", "abl-phase", "abl-even", "optimal",
+		"des-validate", "multijob", "ext-suite", "energy", "overprovision", "robustness", "ctrl-trace", "weak-scaling", "overhead", "demand-response", "abl-threshold",
+	}
+	for _, id := range want {
+		if _, ok := ByID(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id found")
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	prev := ""
+	for _, e := range All() {
+		if e.ID < prev {
+			t.Errorf("registry unsorted at %q", e.ID)
+		}
+		prev = e.ID
+	}
+}
+
+// expectations: per-experiment markers that must appear in the output,
+// asserting each artifact reproduces the paper's qualitative claim.
+var expectations = map[string][]string{
+	"fig1":            {"best:", "cores"},
+	"fig2":            {"linear class", "logarithmic class", "parabolic class", "S(n)@2.3GHz"},
+	"fig3":            {"optimal concurrency:", "ep", "stream", "sp"},
+	"fig6":            {"classification matches Table II for 10/10 applications"},
+	"fig7":            {"mean absolute error", "predicted_NP"},
+	"fig8":            {"1800 W", "2400 W", "CLIP average improvement"},
+	"fig9":            {"1200 W", "800 W", "CLIP average improvement"},
+	"tab1":            {"Event0", "Event7", "lu-mz.C"},
+	"tab2":            {"bt-mz.C", "parabolic", "logarithmic", "linear"},
+	"abl-var":         {"sigma", "coordinated"},
+	"abl-phase":       {"uniform 24 cores", "exch_qbc"},
+	"abl-even":        {"vs_next_even_%"},
+	"optimal":         {"CLIP/Optimal_%", "exhaustive optimum"},
+	"des-validate":    {"worst runtime disagreement", "settled_GHz"},
+	"multijob":        {"makespan_s", "aggr+realloc", "J0-lu"},
+	"ext-suite":       {"12/12", "xsbench", "CLIP average improvement"},
+	"energy":          {"total_energy_MJ", "EDP"},
+	"overprovision":   {"sweet spot", "CLIP chose"},
+	"robustness":      {"haswell-2x12", "skylake-2x16", "class_matches"},
+	"ctrl-trace":      {"settled within the cap", "freq_GHz"},
+	"weak-scaling":    {"node-problems", "comd.weak"},
+	"overhead":        {"CLIP_profile_s", "Cond_search_s"},
+	"demand-response": {"trough", "between the flat envelopes: true"},
+	"abl-threshold":   {"linear_max", "best threshold"},
+}
+
+func TestExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.Run(sharedCtx, &sb); err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			out := sb.String()
+			if len(out) < 100 {
+				t.Fatalf("%s produced suspiciously little output (%d bytes)", e.ID, len(out))
+			}
+			for _, marker := range expectations[e.ID] {
+				if !strings.Contains(out, marker) {
+					t.Errorf("%s output missing %q", e.ID, marker)
+				}
+			}
+		})
+	}
+}
+
+// TestFig9CLIPWinsLowBudget pins the paper's headline: >20% average
+// improvement under low power budgets.
+func TestFig9CLIPWinsLowBudget(t *testing.T) {
+	methods, err := comparisonMethods(sharedCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clip := methods[len(methods)-1]
+	var clipSum, bestOtherSum float64
+	for _, app := range suiteApps() {
+		clipPerf, err := runMethod(sharedCtx, clip, app, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := 0.0
+		for _, m := range methods[:len(methods)-1] {
+			p, err := runMethod(sharedCtx, m, app, 800)
+			if err == nil && p > best {
+				best = p
+			}
+		}
+		clipSum += clipPerf / best
+		bestOtherSum++
+	}
+	avg := clipSum / bestOtherSum
+	if avg < 1.20 {
+		t.Errorf("CLIP averages only %.2fx the best baseline at 800 W; paper claims >20%%", avg)
+	}
+}
+
+// TestOptimalityGap pins the "close to optimal" claim on one case.
+func TestOptimalityGap(t *testing.T) {
+	clip, err := sharedCtx.CLIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := suiteApps()[1] // lu-mz.C
+	clipPerf, err := runMethod(sharedCtx, clip, app, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optPerf, err := runMethod(sharedCtx, &baseline.Optimal{MemSteps: 4}, app, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipPerf < 0.7*optPerf {
+		t.Errorf("CLIP reaches only %.0f%% of optimal", 100*clipPerf/optPerf)
+	}
+}
+
+func TestUnboundedReferencePositive(t *testing.T) {
+	ref, err := unboundedReference(sharedCtx, suiteApps()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref <= 0 {
+		t.Error("unbounded reference performance non-positive")
+	}
+}
+
+// Claim-pinning tests: the headline numbers EXPERIMENTS.md reports must
+// keep holding as the code evolves.
+
+func TestClaimDESValidation(t *testing.T) {
+	var sb strings.Builder
+	e, _ := ByID("des-validate")
+	if err := e.Run(sharedCtx, &sb); err != nil {
+		t.Fatal(err)
+	}
+	// "worst runtime disagreement: X%" must stay below 1%.
+	out := sb.String()
+	idx := strings.Index(out, "worst runtime disagreement: ")
+	if idx < 0 {
+		t.Fatal("summary line missing")
+	}
+	var worst float64
+	if _, err := fmt.Sscanf(out[idx:], "worst runtime disagreement: %f%%", &worst); err != nil {
+		t.Fatal(err)
+	}
+	if worst > 1.0 {
+		t.Errorf("DES/analytic disagreement %.2f%% exceeds the documented 1%%", worst)
+	}
+}
+
+func TestClaimEnergySavings(t *testing.T) {
+	clip, err := sharedCtx.CLIP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clipE, allInE float64
+	for _, app := range suiteApps() {
+		for _, m := range []plan.Method{&baseline.AllIn{}, clip} {
+			p, err := m.Plan(sharedCtx.Cluster, app, 1200)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := plan.Execute(sharedCtx.Cluster, app, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Name() == "CLIP" {
+				clipE += res.Energy
+			} else {
+				allInE += res.Energy
+			}
+		}
+	}
+	if clipE >= allInE*0.8 {
+		t.Errorf("CLIP energy %.0f J not at least 20%% below All-In %.0f J", clipE, allInE)
+	}
+}
+
+func TestClaimThresholdRobust(t *testing.T) {
+	var sb strings.Builder
+	e, _ := ByID("abl-threshold")
+	if err := e.Run(sharedCtx, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "the paper's 0.7 matches it") {
+		t.Error("the paper's threshold is no longer inside the optimal band")
+	}
+}

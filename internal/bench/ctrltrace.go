@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/des"
+	"repro/internal/power"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ctrl-trace",
+		Title: "RAPL controller settling trace under a power cap",
+		Paper: "extension — the transient behaviour behind the paper's static operating points",
+		Run:   runCtrlTrace,
+	})
+}
+
+// runCtrlTrace records node 0's controller time series while a capped
+// run settles from Fmax to the sustainable operating point, then
+// renders the first second as a frequency/power table plus summary
+// statistics.
+func runCtrlTrace(ctx *Context, w io.Writer) error {
+	e, _ := ByID("ctrl-trace")
+	header(w, e)
+	budget := power.Budget{CPU: 130, Mem: 40}
+	res, err := des.Run(ctx.Cluster, workload.LUMZ(), des.RunConfig{
+		Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: budget, MaxIterations: 10,
+		RecordTrace: true,
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Trace) == 0 {
+		return fmt.Errorf("ctrl-trace: no samples recorded")
+	}
+
+	// Render the settling window (first 12 samples) and steady state.
+	t := trace.NewTable("t_s", "freq_GHz", "cpu_power_W", "within_cap")
+	settled := -1.0
+	for i, p := range res.Trace {
+		within := "yes"
+		if p.Power > budget.CPU+1e-9 {
+			within = "NO"
+		} else if settled < 0 {
+			settled = p.Time
+		}
+		if i < 12 {
+			t.Add(p.Time, p.Freq, p.Power, within)
+		}
+	}
+	t.Render(w)
+	// Steady state: the last sample taken while the node was busy
+	// (samples at the barrier only show idle power).
+	steady := res.Trace[len(res.Trace)-1]
+	for i := len(res.Trace) - 1; i >= 0; i-- {
+		if res.Trace[i].Power >= budget.CPU*0.5 {
+			steady = res.Trace[i]
+			break
+		}
+	}
+	fmt.Fprintf(w, "\ncap %.0f W: settled within the cap after %.2f s; steady state %.1f GHz / %.1f W; transient overshoot %.1f W\n",
+		budget.CPU, settled, steady.Freq, steady.Power, res.MaxOvershoot)
+	fmt.Fprintf(w, "(%d controller samples over %.1f s of virtual time)\n", len(res.Trace), res.Time)
+	return nil
+}

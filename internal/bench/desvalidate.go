@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/des"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "des-validate",
+		Title: "Discrete-event simulator vs analytic model cross-validation",
+		Paper: "methodology check — the RAPL feedback controller converges to the analytic operating point",
+		Run:   runDesValidate,
+	})
+}
+
+// runDesValidate executes the suite under a representative cap with
+// both simulators and reports runtime deltas, settled frequencies and
+// controller transients.
+func runDesValidate(ctx *Context, w io.Writer) error {
+	e, _ := ByID("des-validate")
+	header(w, e)
+	budget := power.Budget{CPU: 140, Mem: 40}
+	const nodes, iters = 4, 20
+
+	t := trace.NewTable("application", "analytic_s", "des_s", "delta_%",
+		"settled_GHz", "analytic_GHz", "overshoot_W", "ctrl_steps")
+	var worst float64
+	for _, app := range suiteApps() {
+		a, err := sim.Run(ctx.Cluster, app, sim.Config{
+			Nodes: nodes, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: budget, MaxIterations: iters,
+		})
+		if err != nil {
+			return err
+		}
+		d, err := des.Run(ctx.Cluster, app, des.RunConfig{
+			Nodes: nodes, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: budget, MaxIterations: iters,
+		})
+		if err != nil {
+			return err
+		}
+		delta := 100 * (d.Time - a.Time) / a.Time
+		if abs := delta; abs < 0 {
+			abs = -abs
+			if abs > worst {
+				worst = abs
+			}
+		} else if abs > worst {
+			worst = abs
+		}
+		t.Add(app.Name, a.Time, d.Time, delta, d.FinalFreqs[0], a.Nodes[0].Freq,
+			d.MaxOvershoot, d.ControlSteps)
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nworst runtime disagreement: %.2f%% (controller transient from Fmax)\n", worst)
+	return nil
+}

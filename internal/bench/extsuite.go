@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-suite",
+		Title: "Extended catalogue: classification and method comparison beyond Table II",
+		Paper: "extension — HPCC/PolyBench/proxy-app analogues (§V-B2 names these families for training)",
+		Run:   runExtSuite,
+	})
+}
+
+func runExtSuite(ctx *Context, w io.Writer) error {
+	e, _ := ByID("ext-suite")
+	header(w, e)
+
+	// Classification of the extended catalogue.
+	pr := &profile.Profiler{Cluster: ctx.Cluster}
+	ct := trace.NewTable("application", "pattern", "ratio", "class", "expected", "match")
+	matches := 0
+	for _, app := range workload.ExtendedSuite() {
+		p, err := pr.Basic(app)
+		if err != nil {
+			return err
+		}
+		m := "yes"
+		if p.Class == app.PaperClass {
+			matches++
+		} else {
+			m = "NO"
+		}
+		ct.Add(app.Name, app.Pattern, p.Ratio, p.Class.String(), app.PaperClass.String(), m)
+	}
+	ct.Render(w)
+	fmt.Fprintf(w, "\nclassification matches the catalogue for %d/%d applications\n\n",
+		matches, len(workload.ExtendedSuite()))
+
+	// Method comparison at one low budget (the regime where CLIP's
+	// advantage is largest on the Table II suite).
+	methods, err := comparisonMethods(ctx)
+	if err != nil {
+		return err
+	}
+	const bound = 900.0
+	fmt.Fprintf(w, "-- method comparison at %.0f W --\n", bound)
+	mt := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
+	sums := make([]float64, len(methods))
+	for _, app := range workload.ExtendedSuite() {
+		ref, err := unboundedReference(ctx, app)
+		if err != nil {
+			return err
+		}
+		cells := []interface{}{app.Name}
+		for mi, m := range methods {
+			perf, err := runMethod(ctx, m, app, bound)
+			if err != nil {
+				cells = append(cells, "err")
+				continue
+			}
+			rel := perf / ref
+			cells = append(cells, rel)
+			sums[mi] += rel
+		}
+		mt.Add(cells...)
+	}
+	avg := []interface{}{"AVERAGE"}
+	for _, s := range sums {
+		avg = append(avg, s/float64(len(workload.ExtendedSuite())))
+	}
+	mt.Add(avg...)
+	mt.Render(w)
+	clipAvg := sums[len(sums)-1]
+	best := 0.0
+	for _, s := range sums[:len(sums)-1] {
+		if s > best {
+			best = s
+		}
+	}
+	fmt.Fprintf(w, "CLIP average improvement over the best compared method: %.1f%%\n",
+		100*(clipAvg/best-1))
+	return nil
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Performance impact of resource coordination at a 120 W node budget (NPB-SP)",
+		Paper: "Figure 1 — perf varies strongly with CPU/DRAM power split, core count and affinity",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 sweeps CPU/DRAM splits, core counts and affinities for the SP
+// benchmark on a single node bounded at 120 W across CPU+DRAM, printing
+// performance relative to the worst configuration.
+func runFig1(ctx *Context, w io.Writer) error {
+	e, _ := ByID("fig1")
+	header(w, e)
+	app := workload.SP()
+	const nodeBudget = 120.0
+
+	type cfg struct {
+		memW  float64
+		cores int
+		aff   workload.Affinity
+	}
+	var cfgs []cfg
+	for _, memW := range []float64{20, 30, 40, 50} {
+		for _, cores := range []int{6, 12, 18, 24} {
+			for _, aff := range []workload.Affinity{workload.Compact, workload.Scatter} {
+				cfgs = append(cfgs, cfg{memW, cores, aff})
+			}
+		}
+	}
+
+	perf := make([]float64, len(cfgs))
+	worst, bestV := -1.0, -1.0
+	bestI := 0
+	for i, c := range cfgs {
+		res, err := sim.Run(ctx.Cluster, app, sim.Config{
+			Nodes: 1, CoresPerNode: c.cores, Affinity: c.aff,
+			Capped: true,
+			Budget: power.Budget{CPU: nodeBudget - c.memW, Mem: c.memW},
+		})
+		if err != nil {
+			return err
+		}
+		perf[i] = res.Perf()
+		if worst < 0 || perf[i] < worst {
+			worst = perf[i]
+		}
+		if perf[i] > bestV {
+			bestV, bestI = perf[i], i
+		}
+	}
+
+	t := trace.NewTable("cpu_W", "mem_W", "cores", "affinity", "rel_perf")
+	var defaultPerf float64
+	for i, c := range cfgs {
+		t.Add(nodeBudget-c.memW, c.memW, c.cores, c.aff.String(), perf[i]/worst)
+		if c.memW == 30 && c.cores == 24 && c.aff == workload.Scatter {
+			defaultPerf = perf[i]
+		}
+	}
+	t.Render(w)
+	b := cfgs[bestI]
+	fmt.Fprintf(w, "\nbest: cpu=%.0fW mem=%.0fW cores=%d %s — %.0f%% over the default all-core/30W split (paper: up to 75%% for NPB-SP)\n",
+		nodeBudget-b.memW, b.memW, b.cores, b.aff, 100*(bestV/defaultPerf-1))
+	return nil
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Scalability trends: linear, logarithmic, parabolic vs cores and frequency",
+		Paper: "Figure 2a-c — speedup curves for the three application classes at several frequencies",
+		Run:   runFig2,
+	})
+}
+
+// fig2Archetypes picks one representative per class, profiled with its
+// natural affinity (matching the paper's per-class panels).
+func fig2Archetypes() []struct {
+	app *workload.Spec
+	aff workload.Affinity
+} {
+	return []struct {
+		app *workload.Spec
+		aff workload.Affinity
+	}{
+		{workload.CoMD(), workload.Compact}, // linear
+		{workload.LUMZ(), workload.Scatter}, // logarithmic
+		{workload.SP(), workload.Compact},   // parabolic
+	}
+}
+
+func runFig2(ctx *Context, w io.Writer) error {
+	e, _ := ByID("fig2")
+	header(w, e)
+	freqs := []float64{1.2, 1.8, 2.3}
+	maxCores := ctx.Cluster.Spec().Cores()
+
+	for _, a := range fig2Archetypes() {
+		names := make([]string, len(freqs))
+		ys := make([][]float64, len(freqs))
+		x := make([]float64, maxCores)
+		for i := range x {
+			x[i] = float64(i + 1)
+		}
+		// Common reference (1 core at the lowest frequency) so the
+		// frequency dimension is visible, as in the paper's figure.
+		refRes, err := sim.Run(ctx.Cluster, a.app, sim.Config{
+			Nodes: 1, CoresPerNode: 1, Affinity: a.aff, FreqCap: freqs[0],
+		})
+		if err != nil {
+			return err
+		}
+		ref := refRes.Time
+		for fi, f := range freqs {
+			names[fi] = fmt.Sprintf("S(n)@%.1fGHz", f)
+			series := make([]float64, maxCores)
+			for n := 1; n <= maxCores; n++ {
+				res, err := sim.Run(ctx.Cluster, a.app, sim.Config{
+					Nodes: 1, CoresPerNode: n, Affinity: a.aff, FreqCap: f,
+				})
+				if err != nil {
+					return err
+				}
+				series[n-1] = ref / res.Time
+			}
+			ys[fi] = series
+		}
+		trace.Series(w, fmt.Sprintf("%s (%s class) — performance relative to 1 core at %.1f GHz",
+			a.app.Name, a.app.PaperClass, freqs[0]), "cores", x, names, ys)
+		fmt.Fprintln(w)
+		if err := ctx.SaveLine("fig2-"+a.app.Name,
+			fmt.Sprintf("Fig 2: %s (%s)", a.app.Name, a.app.PaperClass),
+			"cores", "relative performance", x, names, ys); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Performance vs concurrency under CPU power budgets (EP, Stream, SP)",
+		Paper: "Figure 3a-c — optimal concurrency shifts with the processor power budget per class",
+		Run:   runFig3,
+	})
+}
+
+// fig3Budgets are the CPU-domain budgets swept per node (DRAM fixed at
+// a generous 40 W so only the processor budget varies, as in the
+// paper's figure).
+var fig3Budgets = []float64{60, 90, 120, 180, 272}
+
+func runFig3(ctx *Context, w io.Writer) error {
+	e, _ := ByID("fig3")
+	header(w, e)
+	cases := []struct {
+		app *workload.Spec
+		aff workload.Affinity
+	}{
+		{workload.EP(), workload.Compact},     // linear
+		{workload.Stream(), workload.Scatter}, // logarithmic
+		{workload.SP(), workload.Compact},     // parabolic
+	}
+	maxCores := ctx.Cluster.Spec().Cores()
+
+	for _, c := range cases {
+		x := make([]float64, 0, maxCores/2+1)
+		for n := 2; n <= maxCores; n += 2 {
+			x = append(x, float64(n))
+		}
+		// Shared reference: 2 cores at the highest (unconstraining)
+		// budget, so columns are comparable across budgets.
+		refRes, err := sim.Run(ctx.Cluster, c.app, sim.Config{
+			Nodes: 1, CoresPerNode: 2, Affinity: c.aff,
+			Capped: true, Budget: power.Budget{CPU: fig3Budgets[len(fig3Budgets)-1], Mem: 40},
+		})
+		if err != nil {
+			return err
+		}
+		ref := refRes.Perf()
+
+		names := make([]string, len(fig3Budgets))
+		ys := make([][]float64, len(fig3Budgets))
+		for bi, cpuW := range fig3Budgets {
+			names[bi] = fmt.Sprintf("perf@%gW", cpuW)
+			series := make([]float64, 0, len(x))
+			for n := 2; n <= maxCores; n += 2 {
+				res, err := sim.Run(ctx.Cluster, c.app, sim.Config{
+					Nodes: 1, CoresPerNode: n, Affinity: c.aff,
+					Capped: true, Budget: power.Budget{CPU: cpuW, Mem: 40},
+				})
+				if err != nil {
+					return err
+				}
+				series = append(series, res.Perf()/ref)
+			}
+			ys[bi] = series
+		}
+		trace.Series(w, fmt.Sprintf("%s (%s) — performance normalised to 2 cores, unconstrained budget",
+			c.app.Name, c.app.PaperClass), "cores", x, names, ys)
+		if err := ctx.SaveLine("fig3-"+c.app.Name,
+			fmt.Sprintf("Fig 3: %s under CPU power budgets", c.app.Name),
+			"cores", "normalised performance", x, names, ys); err != nil {
+			return err
+		}
+
+		// Summarise optimal concurrency per budget (the figure's key
+		// takeaway).
+		fmt.Fprint(w, "optimal concurrency:")
+		for bi, cpuW := range fig3Budgets {
+			bestN, bestV := 0, -1.0
+			for i, v := range ys[bi] {
+				if v > bestV {
+					bestV, bestN = v, int(x[i])
+				}
+			}
+			fmt.Fprintf(w, "  %gW->%d", cpuW, bestN)
+		}
+		fmt.Fprint(w, "\n\n")
+	}
+	return nil
+}

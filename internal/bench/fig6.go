@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig6",
+		Title: "Parallel speedup ratio (half-core/all-core) and classification of the suite",
+		Paper: "Figure 6 — green: linear, blue: logarithmic, red: parabolic",
+		Run:   runFig6,
+	})
+}
+
+func runFig6(ctx *Context, w io.Writer) error {
+	e, _ := ByID("fig6")
+	header(w, e)
+	pr := &profile.Profiler{Cluster: ctx.Cluster}
+
+	var labels []string
+	var ratios []float64
+	t := trace.NewTable("application", "ratio", "class", "paper_class", "match", "affinity")
+	mismatches := 0
+	for _, app := range suiteApps() {
+		p, err := pr.Basic(app)
+		if err != nil {
+			return err
+		}
+		match := "yes"
+		if p.Class != app.PaperClass {
+			match = "NO"
+			mismatches++
+		}
+		t.Add(app.Name, p.Ratio, p.Class.String(), app.PaperClass.String(), match, p.Affinity.String())
+		labels = append(labels, app.Name)
+		ratios = append(ratios, p.Ratio)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	trace.Bars(w, "Perf_half/Perf_all (1.0 marks the parabolic threshold)", labels, ratios, 40)
+	if err := ctx.SaveBars("fig6-classification",
+		"Fig 6: half/all speedup ratio", labels, []string{"ratio"}, [][]float64{ratios}); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nclassification matches Table II for %d/%d applications\n",
+		len(suiteApps())-mismatches, len(suiteApps()))
+	return nil
+}

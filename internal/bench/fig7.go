@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig7",
+		Title: "Predicted vs actual inflection points for the non-linear suite",
+		Paper: "Figure 7 — MLR predictions against exhaustive-search ground truth",
+		Run:   runFig7,
+	})
+}
+
+func runFig7(ctx *Context, w io.Writer) error {
+	e, _ := ByID("fig7")
+	header(w, e)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "NP regression trained on %d synthetic applications: R²=%.3f MAE=%.2f cores\n\n",
+		42, clip.NPModel.TrainR2, clip.NPModel.TrainMAE)
+
+	t := trace.NewTable("application", "class", "predicted_NP", "actual_NP", "error")
+	var absErr, n float64
+	var labels []string
+	var preds []float64
+	for _, app := range append(suiteApps(), workload.SP(), workload.Stream()) {
+		p, err := clip.Profile(app)
+		if err != nil {
+			return err
+		}
+		if p.Class == workload.Linear {
+			continue
+		}
+		actual, err := perfmodel.GroundTruthNP(ctx.Cluster, app, p.Affinity)
+		if err != nil {
+			return err
+		}
+		t.Add(app.Name, p.Class.String(), p.PredictedNP, actual, p.PredictedNP-actual)
+		absErr += math.Abs(float64(p.PredictedNP - actual))
+		n++
+		labels = append(labels, app.Name+"/pred", app.Name+"/act")
+		preds = append(preds, float64(p.PredictedNP), float64(actual))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nmean absolute error: %.2f cores over %d non-linear applications\n", absErr/n, int(n))
+	fmt.Fprintln(w)
+	trace.Bars(w, "predicted (pred) vs actual (act) inflection points", labels, preds, 24)
+	var apps []string
+	var predSeries, actSeries []float64
+	for i := 0; i+1 < len(preds); i += 2 {
+		apps = append(apps, strings.TrimSuffix(labels[i], "/pred"))
+		predSeries = append(predSeries, preds[i])
+		actSeries = append(actSeries, preds[i+1])
+	}
+	if err := ctx.SaveBars("fig7-inflection",
+		"Fig 7: predicted vs actual inflection points", apps,
+		[]string{"predicted", "actual"}, [][]float64{predSeries, actSeries}); err != nil {
+		return err
+	}
+	return nil
+}

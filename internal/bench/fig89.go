@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "Method comparison under high power budgets",
+		Paper: "Figure 8a-b — relative performance of All-In, Lower-Limit, Coordinated and CLIP",
+		Run: func(ctx *Context, w io.Writer) error {
+			e, _ := ByID("fig8")
+			header(w, e)
+			return runComparison(ctx, w, []float64{2400, 1800})
+		},
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Method comparison under low power budgets",
+		Paper: "Figure 9a-b — CLIP's advantage grows as the budget tightens",
+		Run: func(ctx *Context, w io.Writer) error {
+			e, _ := ByID("fig9")
+			header(w, e)
+			return runComparison(ctx, w, []float64{1200, 800})
+		},
+	})
+}
+
+// comparisonMethods builds the four methods of §V-C.
+func comparisonMethods(ctx *Context) ([]plan.Method, error) {
+	clip, err := ctx.CLIP()
+	if err != nil {
+		return nil, err
+	}
+	return []plan.Method{
+		&baseline.AllIn{},
+		&baseline.LowerLimit{},
+		&baseline.Coordinated{},
+		clip,
+	}, nil
+}
+
+// unboundedReference runs All-In with an effectively unlimited budget:
+// the paper normalises all bars to "the All-In method without a power
+// bound".
+func unboundedReference(ctx *Context, app *workload.Spec) (float64, error) {
+	spec := ctx.Cluster.Spec()
+	ample := float64(ctx.Cluster.NumNodes()) * (300 + float64(spec.Sockets)*spec.MemMaxPower)
+	p, err := (&baseline.AllIn{}).Plan(ctx.Cluster, app, ample)
+	if err != nil {
+		return 0, err
+	}
+	res, err := plan.Execute(ctx.Cluster, app, p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Perf(), nil
+}
+
+// runComparison renders one sub-figure per budget: relative performance
+// of every method on every suite application.
+func runComparison(ctx *Context, w io.Writer, budgets []float64) error {
+	methods, err := comparisonMethods(ctx)
+	if err != nil {
+		return err
+	}
+	for _, bound := range budgets {
+		fmt.Fprintf(w, "-- cluster power budget %.0f W --\n", bound)
+		t := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
+		sums := make([]float64, len(methods))
+		counts := make([]int, len(methods))
+		var figLabels []string
+		figVals := make([][]float64, len(methods))
+		for _, app := range suiteApps() {
+			ref, err := unboundedReference(ctx, app)
+			if err != nil {
+				return err
+			}
+			cells := []interface{}{app.Name}
+			figLabels = append(figLabels, app.Name)
+			for mi, m := range methods {
+				rel, err := runMethod(ctx, m, app, bound)
+				if err != nil {
+					cells = append(cells, "err")
+					figVals[mi] = append(figVals[mi], 0)
+					continue
+				}
+				rel /= ref
+				cells = append(cells, rel)
+				figVals[mi] = append(figVals[mi], rel)
+				sums[mi] += rel
+				counts[mi]++
+			}
+			t.Add(cells...)
+		}
+		if err := ctx.SaveBars(fmt.Sprintf("fig89-%.0fW", bound),
+			fmt.Sprintf("Method comparison at %.0f W (rel. to unbounded All-In)", bound),
+			figLabels, methodNames(methods), figVals); err != nil {
+			return err
+		}
+		avg := []interface{}{"AVERAGE"}
+		for mi := range methods {
+			if counts[mi] > 0 {
+				avg = append(avg, sums[mi]/float64(counts[mi]))
+			} else {
+				avg = append(avg, "err")
+			}
+		}
+		t.Add(avg...)
+		t.Render(w)
+
+		clipAvg := sums[len(methods)-1] / float64(counts[len(methods)-1])
+		bestOther := 0.0
+		for mi := 0; mi < len(methods)-1; mi++ {
+			if counts[mi] > 0 && sums[mi]/float64(counts[mi]) > bestOther {
+				bestOther = sums[mi] / float64(counts[mi])
+			}
+		}
+		fmt.Fprintf(w, "CLIP average improvement over the best compared method: %.1f%%\n\n",
+			100*(clipAvg/bestOther-1))
+	}
+	return nil
+}
+
+// runMethod plans and executes one method, returning absolute
+// performance (1/runtime).
+func runMethod(ctx *Context, m plan.Method, app *workload.Spec, bound float64) (float64, error) {
+	p, err := m.Plan(ctx.Cluster, app, bound)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.Validate(ctx.Cluster, bound); err != nil {
+		return 0, fmt.Errorf("%s: %w", m.Name(), err)
+	}
+	res, err := plan.Execute(ctx.Cluster, app, p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Perf(), nil
+}
+
+func methodNames(methods []plan.Method) []string {
+	out := make([]string, len(methods))
+	for i, m := range methods {
+		out[i] = m.Name()
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/jobsched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "multijob",
+		Title: "Multi-job runtime: FCFS vs backfill vs dynamic power sharing",
+		Paper: "extension — the paper's future-work runtime system, POWsched-style power shifting (ref [11])",
+		Run:   runMultiJob,
+	})
+}
+
+// multiJobWorkload is a mixed stream of the Table II applications with
+// staggered arrivals, some with predefined decompositions.
+func multiJobWorkload() []jobsched.Job {
+	fourNode := func(app *workload.Spec) *workload.Spec {
+		app.Name += ".n4"
+		app.ProcCounts = []int{4}
+		return app
+	}
+	eightNode := func(app *workload.Spec) *workload.Spec {
+		app.Name += ".n8"
+		app.ProcCounts = []int{8}
+		return app
+	}
+	return []jobsched.Job{
+		{ID: "J0-lu", App: workload.LUMZ(), Arrival: 0},
+		{ID: "J1-comd", App: fourNode(workload.CoMD()), Arrival: 2},
+		{ID: "J2-sp", App: eightNode(workload.SPMZ()), Arrival: 4},
+		{ID: "J3-tea", App: fourNode(workload.TeaLeaf()), Arrival: 6},
+		{ID: "J4-amg", App: workload.AMG(), Arrival: 8},
+		{ID: "J5-mini", App: fourNode(workload.MiniMD()), Arrival: 10},
+		{ID: "J6-clover", App: workload.CloverLeaf16(), Arrival: 12},
+		{ID: "J7-aero", App: fourNode(workload.MiniAero()), Arrival: 14},
+	}
+}
+
+func runMultiJob(ctx *Context, w io.Writer) error {
+	e, _ := ByID("multijob")
+	header(w, e)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		return err
+	}
+	const bound = 1400.0
+
+	configs := []struct {
+		name string
+		cfg  jobsched.Config
+	}{
+		{"fcfs", jobsched.Config{Bound: bound, Policy: jobsched.FCFS}},
+		{"easy-backfill", jobsched.Config{Bound: bound, Policy: jobsched.Backfill}},
+		{"aggressive", jobsched.Config{Bound: bound, Policy: jobsched.AggressiveBackfill}},
+		{"aggr+realloc", jobsched.Config{Bound: bound, Policy: jobsched.AggressiveBackfill, Reallocate: true}},
+	}
+
+	t := trace.NewTable("scheduler", "makespan_s", "avg_wait_s", "avg_turnaround_s", "power_use_%", "boosted_jobs")
+	var base float64
+	for i, c := range configs {
+		s, err := jobsched.New(ctx.Cluster, clip, c.cfg)
+		if err != nil {
+			return err
+		}
+		st, err := s.Run(multiJobWorkload())
+		if err != nil {
+			return err
+		}
+		boosted := 0
+		for _, j := range st.Jobs {
+			if j.Boosted {
+				boosted++
+			}
+		}
+		if i == 0 {
+			base = st.Makespan
+		}
+		t.Add(c.name, st.Makespan, st.AvgWait, st.AvgTurnaround, 100*st.AvgPowerUse, boosted)
+		if i == len(configs)-1 {
+			fmt.Fprintf(w, "eight-job stream under a %.0f W bound; gains vs FCFS: %.1f%%\n\n",
+				bound, 100*(base/st.Makespan-1))
+		}
+	}
+	t.Render(w)
+
+	// Per-job detail for the richest configuration.
+	s, err := jobsched.New(ctx.Cluster, clip, configs[3].cfg)
+	if err != nil {
+		return err
+	}
+	st, err := s.Run(multiJobWorkload())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	jt := trace.NewTable("job", "arrival", "start", "finish", "nodes", "cores", "perNode_W", "boosted")
+	var waits, turns []float64
+	for _, j := range st.Jobs {
+		jt.Add(j.ID, j.Arrival, j.Start, j.Finish, j.Nodes, j.Cores, j.PerNodeW, j.Boosted)
+		waits = append(waits, j.Wait())
+		turns = append(turns, j.Turnaround())
+	}
+	jt.Render(w)
+	fmt.Fprintf(w, "\nwait       %s\nturnaround %s\n",
+		stats.Summarise(waits), stats.Summarise(turns))
+	return nil
+}

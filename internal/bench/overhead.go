@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/baseline"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "overhead",
+		Title: "End-to-end time-to-solution: CLIP's offline profiling vs Conductor's online search",
+		Paper: "§IV-B1 'smart profiling ... incurs minimal overhead' and §VI's Conductor critique (ref [31])",
+		Run:   runOverhead,
+	})
+}
+
+// profilingCost returns the wall time of CLIP's smart profiling for an
+// application: two or three sample configurations of a few iterations
+// each, run once per application lifetime.
+func profilingCost(ctx *Context, app *workload.Spec, p *profile.Profile) float64 {
+	iters := float64(app.ProfileIterations)
+	cost := p.All.IterTime*iters + p.Half.IterTime*iters
+	if p.NP != nil {
+		cost += p.NP.IterTime * iters
+	}
+	// The affinity probe re-measures the all-core sample for
+	// memory-hungry applications.
+	if p.Affinity == workload.Scatter {
+		cost += p.All.IterTime * iters
+	}
+	return cost
+}
+
+func runOverhead(ctx *Context, w io.Writer) error {
+	e, _ := ByID("overhead")
+	header(w, e)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		return err
+	}
+	cond := &baseline.Conductor{}
+	const bound = 1200.0
+
+	t := trace.NewTable("application",
+		"CLIP_profile_s", "CLIP_run_s", "CLIP_1st_s", "CLIP_cached_s",
+		"Cond_search_s", "Cond_run_s", "Cond_total_s",
+		"gain_1st_%", "gain_cached_%")
+	for _, app := range []*workload.Spec{workload.LUMZ(), workload.SPMZ(), workload.CoMD(), workload.TeaLeaf()} {
+		p, err := clip.Profile(app)
+		if err != nil {
+			return err
+		}
+		prof := profilingCost(ctx, app, p)
+		pl, err := clip.Plan(ctx.Cluster, app, bound)
+		if err != nil {
+			return err
+		}
+		res, err := plan.Execute(ctx.Cluster, app, pl)
+		if err != nil {
+			return err
+		}
+		first := prof + res.Time // first ever run pays the profiling
+		cached := res.Time       // knowledge-database hit afterwards
+
+		rep, err := cond.TimeToSolution(ctx.Cluster, app, bound)
+		if err != nil {
+			return err
+		}
+		t.Add(app.Name, prof, res.Time, first, cached,
+			rep.SearchSeconds, rep.RunSeconds, rep.Total(),
+			100*(rep.Total()/first-1), 100*(rep.Total()/cached-1))
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\n(CLIP's profiling cost is one-time per application; Conductor pays its search on every run.")
+	fmt.Fprintln(w, " Conductor also fixes the node count before searching, missing CLIP's cluster-level dimension.)")
+	return nil
+}

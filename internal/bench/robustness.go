@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "robustness",
+		Title: "Machine-generation robustness: Haswell vs Broadwell vs Skylake node models",
+		Paper: "extension — §VI notes older predictors lose precision as hardware evolves; CLIP retrains per machine",
+		Run:   runRobustness,
+	})
+}
+
+// runRobustness re-runs classification and the low-budget method
+// comparison on three machine generations. Classes and CLIP's advantage
+// must persist even though core counts, TDPs and bandwidths differ.
+func runRobustness(ctx *Context, w io.Writer) error {
+	e, _ := ByID("robustness")
+	header(w, e)
+
+	machines := []struct {
+		name string
+		spec *hw.NodeSpec
+		// budget scaled to the machine's envelope (same relative
+		// pressure as 900 W on Haswell).
+		bound float64
+	}{
+		{"haswell-2x12", hw.HaswellSpec(), 900},
+		{"broadwell-2x14", hw.BroadwellSpec(), 1000},
+		{"skylake-2x16", hw.SkylakeSpec(), 950},
+	}
+
+	t := trace.NewTable("machine", "cores/node", "class_matches", "CLIP_vs_best_baseline_%")
+	for _, m := range machines {
+		cl := hw.NewCluster(8, m.spec, 0.02, 42)
+		mctx := &Context{Cluster: cl}
+
+		// Classification transfer.
+		pr := &profile.Profiler{Cluster: cl}
+		matches := 0
+		for _, app := range suiteApps() {
+			p, err := pr.Basic(app)
+			if err != nil {
+				return err
+			}
+			if p.Class == app.PaperClass {
+				matches++
+			}
+		}
+
+		// Method comparison at the scaled budget.
+		methods, err := comparisonMethods(mctx)
+		if err != nil {
+			return err
+		}
+		sums := make([]float64, len(methods))
+		for _, app := range suiteApps() {
+			for mi, meth := range methods {
+				p, err := meth.Plan(cl, app, m.bound)
+				if err != nil {
+					continue
+				}
+				res, err := plan.Execute(cl, app, p)
+				if err != nil {
+					return err
+				}
+				sums[mi] += res.Perf()
+			}
+		}
+		best := 0.0
+		for _, s := range sums[:len(sums)-1] {
+			if s > best {
+				best = s
+			}
+		}
+		gain := 100 * (sums[len(sums)-1]/best - 1)
+		t.Add(m.name, m.spec.Cores(), fmt.Sprintf("%d/%d", matches, len(suiteApps())), gain)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\n(CLIP retrains its NP regression per machine — the fix for the precision loss §VI attributes to hardware evolution)")
+	return nil
+}

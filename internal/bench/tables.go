@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "Hardware events used for inflection-point prediction",
+		Paper: "Table I — the Haswell events collected during sample configurations",
+		Run:   runTab1,
+	})
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Benchmark suite",
+		Paper: "Table II — applications, parameters, workload patterns and scalability types",
+		Run:   runTab2,
+	})
+}
+
+// tab1EventNames matches paper Table I.
+var tab1EventNames = []string{
+	"Event0 Instruction Cache (ICACHE) Misses /s",
+	"Event1 Memory Access Read Bandwidth B/s",
+	"Event2 Memory Access Write Bandwidth B/s",
+	"Event3 L3 Cache Miss from Local DRAM /s",
+	"Event4 L3 Cache Miss from Remote DRAM /s",
+	"Event5 Cycles Active G/s",
+	"Event6 Instructions Retired G/s",
+	"Event7 Performance ratio by full cores and half cores",
+}
+
+func runTab1(ctx *Context, w io.Writer) error {
+	e, _ := ByID("tab1")
+	header(w, e)
+	pr := &profile.Profiler{Cluster: ctx.Cluster}
+
+	apps := []*workload.Spec{workload.LUMZ(), workload.CoMD(), workload.SPMZ()}
+	t := trace.NewTable(append([]string{"predictor"}, names(apps)...)...)
+	cols := make([][]float64, len(apps))
+	for i, app := range apps {
+		p, err := pr.Basic(app)
+		if err != nil {
+			return err
+		}
+		cols[i] = p.Features()
+	}
+	for ev := 0; ev < len(tab1EventNames); ev++ {
+		cells := []interface{}{tab1EventNames[ev]}
+		for i := range apps {
+			cells = append(cells, cols[i][ev])
+		}
+		t.Add(cells...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w, "\n(rates from the all-core sample configuration; event 7 is the profile-level ratio)")
+	return nil
+}
+
+func runTab2(ctx *Context, w io.Writer) error {
+	e, _ := ByID("tab2")
+	header(w, e)
+	t := trace.NewTable("benchmark", "pattern", "scalability_type", "iterations",
+		"parallel_Gcycles/iter", "memory_GB/iter", "phases")
+	for _, app := range suiteApps() {
+		t.Add(app.Name, app.Pattern, app.PaperClass.String(), app.Iterations,
+			app.TotalParallelCycles(), app.TotalMemoryBytes(), len(app.Phases))
+	}
+	t.Render(w)
+	return nil
+}
+
+func names(apps []*workload.Spec) []string {
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}

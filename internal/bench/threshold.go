@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/classify"
+	"repro/internal/profile"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "abl-threshold",
+		Title: "Sensitivity of the classification threshold around the paper's 0.7",
+		Paper: "§III-A1 — the linear/logarithmic boundary is an empirical constant; this sweep validates it",
+		Run:   runThreshold,
+	})
+}
+
+// runThreshold sweeps the linear/logarithmic boundary and counts
+// misclassifications over the full 22-application catalogue (Table II
+// suite + extended), using the declared classes as ground truth.
+func runThreshold(ctx *Context, w io.Writer) error {
+	e, _ := ByID("abl-threshold")
+	header(w, e)
+	pr := &profile.Profiler{Cluster: ctx.Cluster}
+	apps := append(suiteApps(), workload.ExtendedSuite()...)
+
+	// Profile once; re-bin per threshold.
+	type sample struct {
+		name  string
+		ratio float64
+		truth workload.Class
+	}
+	var samples []sample
+	for _, app := range apps {
+		p, err := pr.Basic(app)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, sample{app.Name, p.Ratio, app.PaperClass})
+	}
+
+	t := trace.NewTable("linear_max", "correct", "of", "misclassified")
+	bestThr, bestCorrect := 0.0, -1
+	for _, thr := range []float64{0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90} {
+		correct := 0
+		var wrong []string
+		for _, s := range samples {
+			if classify.FromRatioWith(s.ratio, thr, classify.LogarithmicMax) == s.truth {
+				correct++
+			} else {
+				wrong = append(wrong, s.name)
+			}
+		}
+		t.Add(thr, correct, len(samples), joinMax(wrong, 4))
+		if correct > bestCorrect {
+			bestCorrect, bestThr = correct, thr
+		}
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nbest threshold in the sweep: %.2f (%d/%d) — the paper's 0.7 ", bestThr, bestCorrect, len(samples))
+	paperCorrect := 0
+	for _, s := range samples {
+		if classify.FromRatio(s.ratio) == s.truth {
+			paperCorrect++
+		}
+	}
+	if paperCorrect == bestCorrect {
+		fmt.Fprintf(w, "matches it (%d/%d)\n", paperCorrect, len(samples))
+	} else {
+		fmt.Fprintf(w, "scores %d/%d\n", paperCorrect, len(samples))
+	}
+	return nil
+}
+
+// joinMax joins up to n names, marking overflow.
+func joinMax(names []string, n int) string {
+	if len(names) == 0 {
+		return "-"
+	}
+	out := ""
+	for i, s := range names {
+		if i == n {
+			return out + fmt.Sprintf(" +%d", len(names)-n)
+		}
+		if i > 0 {
+			out += " "
+		}
+		out += s
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/plan"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "weak-scaling",
+		Title: "Weak scaling under a power bound: throughput per method",
+		Paper: "extension — the paper evaluates strong scaling; weak-scaled runs shift the node-count trade-off",
+		Run:   runWeakScaling,
+	})
+}
+
+// runWeakScaling compares the four methods on weak-scaled variants of
+// one application per class. Under weak scaling every extra node adds
+// work, so the metric is throughput (node-problems per second); the
+// power bound still forces the same node-count/power trade-off.
+func runWeakScaling(ctx *Context, w io.Writer) error {
+	e, _ := ByID("weak-scaling")
+	header(w, e)
+	methods, err := comparisonMethods(ctx)
+	if err != nil {
+		return err
+	}
+	const bound = 1100.0
+	apps := []*workload.Spec{
+		workload.CoMD().WeakScaled(),
+		workload.LUMZ().WeakScaled(),
+		workload.SPMZ().WeakScaled(),
+	}
+
+	t := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
+	sums := make([]float64, len(methods))
+	for _, app := range apps {
+		cells := []interface{}{app.Name}
+		for mi, m := range methods {
+			p, err := m.Plan(ctx.Cluster, app, bound)
+			if err != nil {
+				cells = append(cells, "err")
+				continue
+			}
+			res, err := plan.Execute(ctx.Cluster, app, p)
+			if err != nil {
+				return err
+			}
+			tp := res.Throughput() * 1e3
+			cells = append(cells, tp)
+			sums[mi] += tp
+		}
+		t.Add(cells...)
+	}
+	avg := []interface{}{"SUM"}
+	for _, s := range sums {
+		avg = append(avg, s)
+	}
+	t.Add(avg...)
+	t.Render(w)
+
+	clip := sums[len(sums)-1]
+	best := 0.0
+	for _, s := range sums[:len(sums)-1] {
+		if s > best {
+			best = s
+		}
+	}
+	fmt.Fprintf(w, "\n(throughput = node-problems/s x1000 at a %.0f W bound)\n", bound)
+	fmt.Fprintf(w, "CLIP weak-scaling throughput vs best baseline: %+.1f%%\n", 100*(clip/best-1))
+	return nil
+}

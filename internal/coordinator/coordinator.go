@@ -1,0 +1,214 @@
+// Package coordinator implements CLIP's cluster level (§III-B,
+// Algorithm 1): choose how many nodes participate, give each node a
+// power budget within the application's acceptable power range, and
+// re-balance budgets across nodes for manufacturing variability
+// (Inadomi-style, §III-B2).
+//
+// Node-count selection follows §III-B1 — "determine the number of
+// nodes by predicting the performance with different configurations for
+// the given cluster power budget": every admissible process count is
+// ranked with the node-level performance model (Algorithm 1's
+// floor(Pub/Hi) rule is the special case the prediction reduces to when
+// per-node performance is power-linear).
+package coordinator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/recommend"
+	"repro/internal/workload"
+)
+
+// VariabilityThreshold is the spread in per-node power efficiency above
+// which inter-node power coordination activates; the paper only
+// coordinates "when the manufacture power variability exceeds a
+// threshold" because its testbed is quite homogeneous.
+const VariabilityThreshold = 0.03
+
+// CommOverheadPerLog2 is the relative per-iteration overhead the
+// cluster-level predictor charges per doubling of the node count,
+// standing in for communication costs the single-node profile cannot
+// see.
+const CommOverheadPerLog2 = 0.015
+
+// Decision is the cluster-level scheduling outcome.
+type Decision struct {
+	Plan *plan.Plan
+	// NodeCfg is the node-level configuration underlying the plan.
+	NodeCfg recommend.NodeConfig
+	// PredTime is the predicted cluster per-iteration time.
+	PredTime float64
+	// Coordinated is true when variability-aware re-balancing ran.
+	Coordinated bool
+}
+
+// Coordinator computes cluster-level power allocation decisions.
+type Coordinator struct {
+	Cluster *hw.Cluster
+	// Threshold overrides VariabilityThreshold when non-zero; a
+	// negative value disables inter-node coordination entirely
+	// (ablation support).
+	Threshold float64
+	// EnergyTolerance, when positive, switches node-level selection to
+	// the energy-aware objective: minimum predicted energy within this
+	// relative slowdown of the fastest configuration.
+	EnergyTolerance float64
+}
+
+// threshold returns the effective variability threshold.
+func (c *Coordinator) threshold() float64 {
+	if c.Threshold != 0 {
+		return c.Threshold
+	}
+	return VariabilityThreshold
+}
+
+// clusterPredict estimates the per-iteration time of an N-node run
+// whose nodes deliver per-node whole-job iteration time t1.
+func clusterPredict(t1 float64, nodes int) float64 {
+	n := float64(nodes)
+	return t1 / n * (1 + CommOverheadPerLog2*math.Log2(n))
+}
+
+// Schedule produces the CLIP decision for app under a total budget of
+// bound watts, given its profile and fitted performance predictor.
+func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *perfmodel.Predictor, bound float64) (*Decision, error) {
+	if bound <= 0 {
+		return nil, fmt.Errorf("coordinator: non-positive bound %.1f W", bound)
+	}
+	spec := c.Cluster.Spec()
+	counts := app.AllowedProcCounts(c.Cluster.NumNodes())
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("coordinator: %s admits no process count on %d nodes", app.Name, c.Cluster.NumNodes())
+	}
+
+	type cand struct {
+		nodes int
+		cfg   recommend.NodeConfig
+		pred  float64
+	}
+	best := cand{pred: math.Inf(1)}
+	var fallback *cand
+	for _, n := range counts {
+		perNode := bound / float64(n)
+		cfg, err := recommend.RecommendWithTolerance(spec, prof, pd, perNode, 1.0, c.EnergyTolerance)
+		if err != nil {
+			continue
+		}
+		// Respect the acceptable power range: skip node counts that
+		// force duty-cycling, but remember the least-bad one in case
+		// the bound is below the range for every count.
+		pred := clusterPredict(cfg.PredIterTime, n)
+		cc := cand{nodes: n, cfg: cfg, pred: pred}
+		if !cfg.CapOK {
+			if fallback == nil || pred < fallback.pred {
+				f := cc
+				fallback = &f
+			}
+			continue
+		}
+		if pred < best.pred {
+			best = cc
+		}
+	}
+	if math.IsInf(best.pred, 1) {
+		if fallback == nil {
+			return nil, fmt.Errorf("coordinator: no feasible node count for %s under %.1f W", app.Name, bound)
+		}
+		best = *fallback
+	}
+
+	ids := c.pickNodes(best.nodes)
+	budgets, coordinated := c.nodeBudgets(ids, best.cfg, bound)
+	p := &plan.Plan{
+		NodeIDs:    ids,
+		Cores:      best.cfg.Cores,
+		Affinity:   best.cfg.Affinity,
+		PerNode:    budgets,
+		PhaseCores: recommend.PhasePlan(app, prof, best.cfg.Cores),
+		Notes: fmt.Sprintf("class=%s np=%d nodes=%d cores=%d %s",
+			prof.Class, prof.PredictedNP, best.nodes, best.cfg.Cores, best.cfg.Budget),
+	}
+	return &Decision{Plan: p, NodeCfg: best.cfg, PredTime: best.pred, Coordinated: coordinated}, nil
+}
+
+// pickNodes selects the n most power-efficient nodes (lowest PowerEff):
+// under a shared bound the efficient parts sustain the highest
+// frequencies.
+func (c *Coordinator) pickNodes(n int) []int {
+	ids := make([]int, c.Cluster.NumNodes())
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		return c.Cluster.Nodes[ids[a]].PowerEff < c.Cluster.Nodes[ids[b]].PowerEff
+	})
+	ids = ids[:n]
+	sort.Ints(ids)
+	return ids
+}
+
+// nodeBudgets assigns per-node budgets. Homogeneous clusters get the
+// uniform recommended budget; when variability exceeds the threshold,
+// CPU budgets are re-balanced so every node sustains the same frequency
+// (equalising barrier arrival, §III-B2), spending no more than the
+// uniform total.
+func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound float64) ([]power.Budget, bool) {
+	n := len(ids)
+	uniform := plan.UniformBudgets(n, cfg.Budget)
+	spread := c.variabilityAcross(ids)
+	if c.Threshold < 0 || spread <= c.threshold() {
+		return uniform, false
+	}
+
+	spec := c.Cluster.Spec()
+	sockets := profile.SocketsUsed(spec, cfg.Cores, cfg.Affinity)
+	totalCPU := cfg.Budget.CPU * float64(n)
+	// Highest common ladder frequency whose total power fits the pool.
+	fStar := spec.FMin()
+	for i := len(spec.FreqLevels) - 1; i >= 0; i-- {
+		f := spec.FreqLevels[i]
+		var sum float64
+		for _, id := range ids {
+			sum += power.CPUPower(spec, cfg.Cores, sockets, f, c.Cluster.Nodes[id].PowerEff)
+		}
+		if sum <= totalCPU+1e-9 {
+			fStar = f
+			break
+		}
+	}
+	out := make([]power.Budget, n)
+	var spent float64
+	for i, id := range ids {
+		cpu := power.CPUPower(spec, cfg.Cores, sockets, fStar, c.Cluster.Nodes[id].PowerEff)
+		out[i] = power.Budget{CPU: cpu, Mem: cfg.Budget.Mem}
+		spent += cpu
+	}
+	// Return any slack to the nodes evenly (headroom for the next
+	// ladder step on efficient parts).
+	if slack := totalCPU - spent; slack > 0 {
+		per := slack / float64(n)
+		for i := range out {
+			out[i].CPU += per
+		}
+	}
+	return out, true
+}
+
+// variabilityAcross returns the PowerEff spread over the chosen nodes.
+func (c *Coordinator) variabilityAcross(ids []int) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, id := range ids {
+		e := c.Cluster.Nodes[id].PowerEff
+		lo = math.Min(lo, e)
+		hi = math.Max(hi, e)
+	}
+	return hi - lo
+}

@@ -1,0 +1,184 @@
+// Package core is the CLIP framework façade (paper §IV): it wires the
+// smart profiling module, the knowledge database, the trained
+// inflection-point regression, the node-level configuration
+// recommendation and the cluster-level power coordinator into a single
+// power-bounded scheduler.
+//
+// Typical use:
+//
+//	cl := hw.Haswell()
+//	clip, _ := core.New(cl)
+//	res, _ := clip.Run(workload.SPMZ(), 800) // 800 W cluster bound
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/coordinator"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Options configures CLIP construction.
+type Options struct {
+	// TrainingApps overrides the default synthetic training set for the
+	// inflection-point regression.
+	TrainingApps []*workload.Spec
+	// DB seeds the knowledge database (e.g. loaded from disk).
+	DB *profile.DB
+	// NPModel injects a pre-trained regression, skipping training.
+	NPModel *perfmodel.NPModel
+	// EnergyTolerance switches the node-level objective to energy-aware
+	// selection: minimum predicted energy within this relative slowdown
+	// of the fastest configuration (0 = pure performance, the paper's
+	// objective).
+	EnergyTolerance float64
+}
+
+// CLIP is the scheduler. It is safe for concurrent use.
+type CLIP struct {
+	Cluster *hw.Cluster
+	NPModel *perfmodel.NPModel
+
+	mu    sync.Mutex
+	db    *profile.DB
+	preds map[string]*perfmodel.Predictor
+	coord *coordinator.Coordinator
+	prof  *profile.Profiler
+}
+
+var _ plan.Method = (*CLIP)(nil)
+
+// New builds a CLIP instance for a cluster, training the
+// inflection-point regression offline (one-time cost, as in the paper).
+func New(cl *hw.Cluster, opts ...Options) (*CLIP, error) {
+	if err := cl.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	c := &CLIP{
+		Cluster: cl,
+		db:      o.DB,
+		preds:   make(map[string]*perfmodel.Predictor),
+		coord:   &coordinator.Coordinator{Cluster: cl, EnergyTolerance: o.EnergyTolerance},
+		prof:    &profile.Profiler{Cluster: cl},
+	}
+	if c.db == nil {
+		c.db = profile.NewDB()
+	}
+	if o.NPModel != nil {
+		c.NPModel = o.NPModel
+	} else {
+		train := o.TrainingApps
+		if train == nil {
+			train = workload.TrainingSet(42, 7)
+		}
+		m, err := perfmodel.TrainNP(cl, train)
+		if err != nil {
+			return nil, fmt.Errorf("core: train NP model: %w", err)
+		}
+		c.NPModel = m
+	}
+	return c, nil
+}
+
+// Name implements plan.Method.
+func (c *CLIP) Name() string { return "CLIP" }
+
+// DB exposes the knowledge database (for persistence and inspection).
+func (c *CLIP) DB() *profile.DB { return c.db }
+
+// Profile returns the knowledge-database record for app, running smart
+// profiling on a cache miss (the paper's application execution module
+// checks the database first).
+func (c *CLIP) Profile(app *workload.Spec) (*profile.Profile, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.profileLocked(app)
+}
+
+func (c *CLIP) profileLocked(app *workload.Spec) (*profile.Profile, error) {
+	if p, ok := c.db.Get(app.Name); ok {
+		return p, nil
+	}
+	p, err := c.prof.Full(app, c.NPModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: profile %s: %w", app.Name, err)
+	}
+	c.db.Put(p)
+	return p, nil
+}
+
+// predictor returns (and caches) the piecewise performance predictor
+// for app.
+func (c *CLIP) predictor(app *workload.Spec) (*profile.Profile, *perfmodel.Predictor, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, err := c.profileLocked(app)
+	if err != nil {
+		return nil, nil, err
+	}
+	if pd, ok := c.preds[app.Name]; ok {
+		return p, pd, nil
+	}
+	pd, err := perfmodel.NewPredictor(c.Cluster.Spec(), p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: predictor %s: %w", app.Name, err)
+	}
+	c.preds[app.Name] = pd
+	return p, pd, nil
+}
+
+// Predictor returns the knowledge-database profile and the fitted
+// piecewise performance predictor for app, profiling on demand. It is
+// exported for experiment harnesses (ablations drive the coordinator
+// directly).
+func (c *CLIP) Predictor(app *workload.Spec) (*profile.Profile, *perfmodel.Predictor, error) {
+	return c.predictor(app)
+}
+
+// Schedule produces the full cluster-level decision for app under a
+// total power bound (watts over the CPU+DRAM domains of all
+// participating nodes).
+func (c *CLIP) Schedule(app *workload.Spec, bound float64) (*coordinator.Decision, error) {
+	p, pd, err := c.predictor(app)
+	if err != nil {
+		return nil, err
+	}
+	return c.coord.Schedule(app, p, pd, bound)
+}
+
+// Plan implements plan.Method. The cluster argument must be the one
+// CLIP was built for (profiles and the regression are machine
+// specific).
+func (c *CLIP) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (*plan.Plan, error) {
+	if cl != c.Cluster {
+		return nil, fmt.Errorf("core: CLIP was trained for a different cluster")
+	}
+	d, err := c.Schedule(app, bound)
+	if err != nil {
+		return nil, err
+	}
+	return d.Plan, nil
+}
+
+// Run schedules and executes app under the bound, returning the
+// simulated result.
+func (c *CLIP) Run(app *workload.Spec, bound float64) (*sim.Result, error) {
+	p, err := c.Plan(c.Cluster, app, bound)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Validate(c.Cluster, bound); err != nil {
+		return nil, err
+	}
+	return plan.Execute(c.Cluster, app, p)
+}

@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// ExampleCLIP_Schedule schedules a parabolic application under a tight
+// bound: CLIP throttles concurrency below the full core count and the
+// plan respects the bound.
+func ExampleCLIP_Schedule() {
+	cluster := hw.NewCluster(8, hw.HaswellSpec(), 0, 1)
+	clip, err := core.New(cluster)
+	if err != nil {
+		panic(err)
+	}
+	d, err := clip.Schedule(workload.SPMZ(), 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("throttled below all cores: %v\n", d.Plan.Cores < cluster.Spec().Cores())
+	fmt.Printf("plan within bound: %v\n", d.Plan.Validate(cluster, 1000) == nil)
+	// Output:
+	// throttled below all cores: true
+	// plan within bound: true
+}

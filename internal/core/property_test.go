@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/workload"
+)
+
+// Property tests over the whole scheduling stack: for arbitrary budgets
+// and any catalogue application, CLIP's plan must validate against the
+// bound, and executing it must respect every per-node power cap.
+
+func propertyCLIP(t *testing.T) (*hw.Cluster, *CLIP) {
+	t.Helper()
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0.02, 5)
+	c, err := New(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl, c
+}
+
+func allApps() []*workload.Spec {
+	apps := workload.Suite()
+	apps = append(apps, workload.ExtendedSuite()...)
+	return apps
+}
+
+func TestPropertyPlansRespectBound(t *testing.T) {
+	cl, c := propertyCLIP(t)
+	apps := allApps()
+	f := func(budgetRaw uint16, appIdx uint8) bool {
+		// Budgets from 300 W (half a node's envelope) to 3000 W.
+		bound := 300 + float64(budgetRaw%2700)
+		app := apps[int(appIdx)%len(apps)]
+		p, err := c.Plan(cl, app, bound)
+		if err != nil {
+			// Extremely low bounds may be unschedulable; that is an
+			// acceptable refusal, not a property violation.
+			return bound < 400
+		}
+		return p.Validate(cl, bound) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyExecutionRespectsCaps(t *testing.T) {
+	cl, c := propertyCLIP(t)
+	apps := allApps()
+	f := func(budgetRaw uint16, appIdx uint8) bool {
+		bound := 500 + float64(budgetRaw%2200)
+		app := apps[int(appIdx)%len(apps)]
+		p, err := c.Plan(cl, app, bound)
+		if err != nil {
+			return true
+		}
+		res, err := plan.Execute(cl, app, p)
+		if err != nil {
+			return false
+		}
+		for i, nr := range res.Nodes {
+			if nr.CPUPower > p.PerNode[i].CPU+1e-6 {
+				t.Logf("%s @%0.f W: node %d drew %.2f over cap %.2f",
+					app.Name, bound, i, nr.CPUPower, p.PerNode[i].CPU)
+				return false
+			}
+			if nr.MemPower > p.PerNode[i].Mem+1e-6 {
+				// DRAM background power is unenforceable below base;
+				// only flag overshoot above the trickle regime.
+				spec := cl.Spec()
+				base := float64(nr.Sockets) * spec.MemBasePower
+				if p.PerNode[i].Mem > base+1 {
+					t.Logf("%s @%0.f W: node %d DRAM %.2f over cap %.2f",
+						app.Name, bound, i, nr.MemPower, p.PerNode[i].Mem)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMonotoneBudget: giving CLIP strictly more power must not
+// produce a slower executed schedule (sanity of the whole stack).
+func TestPropertyMonotoneBudget(t *testing.T) {
+	cl, c := propertyCLIP(t)
+	for _, app := range []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.SPMZ()} {
+		prev := 0.0
+		for _, bound := range []float64{600, 900, 1300, 1800, 2400} {
+			p, err := c.Plan(cl, app, bound)
+			if err != nil {
+				t.Fatalf("%s @%v: %v", app.Name, bound, err)
+			}
+			res, err := plan.Execute(cl, app, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			perf := res.Perf()
+			if perf < prev*0.98 { // 2% model-noise tolerance
+				t.Errorf("%s: perf dropped from %.5f to %.5f when bound grew to %v",
+					app.Name, prev, perf, bound)
+			}
+			if perf > prev {
+				prev = perf
+			}
+		}
+	}
+}
+
+// TestPropertyDeterministicPlans: the same request twice yields the
+// same plan (no hidden randomness in the stack).
+func TestPropertyDeterministicPlans(t *testing.T) {
+	cl, c := propertyCLIP(t)
+	for _, app := range workload.Suite()[:4] {
+		a, err := c.Plan(cl, app, 1100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Plan(cl, app, 1100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cores != b.Cores || a.Nodes() != b.Nodes() || a.PerNode[0] != b.PerNode[0] {
+			t.Errorf("%s: plans differ across identical requests", app.Name)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package des is a discrete-event simulation engine for power-bounded
+// cluster execution. Where internal/sim computes steady-state behaviour
+// analytically, des executes the run event by event: nodes advance
+// through phase segments, a per-node RAPL-like feedback controller
+// samples power on a control interval and steps the DVFS frequency, and
+// iterations synchronise at barriers.
+//
+// The engine serves two purposes: it validates the analytic model (the
+// cross-validation tests require both simulators to agree in steady
+// state), and it exposes transient behaviour the analytic model cannot
+// see — controller settling after phase changes, barrier jitter under
+// manufacturing variability, and cap overshoot during the first control
+// intervals.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	Time float64
+	seq  uint64
+	fn   func()
+	// cancelled events stay in the heap but do nothing when popped.
+	cancelled bool
+}
+
+// Cancel marks the event so it is skipped when its time comes.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// eventHeap orders events by (time, insertion sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a minimal discrete-event core: schedule closures in virtual
+// time and run until the queue drains or a horizon is reached.
+type Engine struct {
+	now   float64
+	seq   uint64
+	queue eventHeap
+	// Steps counts processed (non-cancelled) events.
+	Steps int
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn at absolute time t (>= Now) and returns the event for
+// cancellation.
+func (e *Engine) At(t float64, fn func()) (*Event, error) {
+	if t < e.now-1e-12 {
+		return nil, fmt.Errorf("des: schedule at %g before now %g", t, e.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("des: invalid event time %g", t)
+	}
+	e.seq++
+	ev := &Event{Time: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// After schedules fn dt seconds from now.
+func (e *Engine) After(dt float64, fn func()) (*Event, error) {
+	return e.At(e.now+dt, fn)
+}
+
+// Run processes events until the queue is empty or time exceeds
+// horizon (0 = no horizon). It returns an error if the event count
+// exceeds maxSteps (runaway guard; 0 = default 50 million).
+func (e *Engine) Run(horizon float64, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 50_000_000
+	}
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if horizon > 0 && ev.Time > horizon {
+			e.now = horizon
+			return nil
+		}
+		if ev.Time < e.now-1e-9 {
+			return fmt.Errorf("des: time went backwards: %g < %g", ev.Time, e.now)
+		}
+		e.now = ev.Time
+		e.Steps++
+		if e.Steps > maxSteps {
+			return fmt.Errorf("des: exceeded %d events (runaway simulation?)", maxSteps)
+		}
+		ev.fn()
+	}
+	return nil
+}

@@ -1,0 +1,381 @@
+package des
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i, tm := range []float64{3, 1, 2} {
+		i, tm := i, tm
+		if _, err := e.At(tm, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Errorf("event order %v, want [1 2 0]", order)
+	}
+	if e.Now() != 3 {
+		t.Errorf("final time %v, want 3", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := e.At(1, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev, err := e.At(1, func() { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel()
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.At(5, func() {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.At(1, func() {}); err == nil {
+		t.Error("event in the past accepted")
+	}
+	if _, err := e.At(math.NaN(), func() {}); err == nil {
+		t.Error("NaN time accepted")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	if _, err := e.At(10, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Error("event beyond horizon ran")
+	}
+	if e.Now() != 5 {
+		t.Errorf("time %v, want horizon 5", e.Now())
+	}
+}
+
+func TestEngineRunawayGuard(t *testing.T) {
+	e := NewEngine()
+	var loop func()
+	loop = func() {
+		if _, err := e.After(1, loop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e.At(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 100); err == nil {
+		t.Error("runaway simulation not caught")
+	}
+}
+
+func TestEngineChainedScheduling(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			if _, err := e.After(0.5, tick); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.At(0, tick); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Errorf("ticks %d, want 10", count)
+	}
+	if math.Abs(e.Now()-4.5) > 1e-9 {
+		t.Errorf("final time %v, want 4.5", e.Now())
+	}
+}
+
+// --- cluster-level DES ---
+
+func cluster(n int) *hw.Cluster { return hw.NewCluster(n, hw.HaswellSpec(), 0, 1) }
+
+func TestUncappedMatchesAnalytic(t *testing.T) {
+	cl := cluster(4)
+	for _, app := range []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.SPMZ(), workload.BTMZ()} {
+		cfg := RunConfig{Nodes: 4, CoresPerNode: 24, Affinity: workload.Scatter, MaxIterations: 10}
+		dres, err := Run(cl, app, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		ares, err := sim.Run(cl, app, sim.Config{
+			Nodes: 4, CoresPerNode: 24, Affinity: workload.Scatter, MaxIterations: 10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(dres.Time-ares.Time) / ares.Time; rel > 1e-6 {
+			t.Errorf("%s: uncapped DES %.6f vs analytic %.6f (rel %.2g)",
+				app.Name, dres.Time, ares.Time, rel)
+		}
+	}
+}
+
+func TestCappedConvergesToAnalytic(t *testing.T) {
+	cl := cluster(2)
+	for _, tc := range []struct {
+		app    *workload.Spec
+		budget power.Budget
+	}{
+		{workload.CoMD(), power.Budget{CPU: 150, Mem: 30}},
+		{workload.LUMZ(), power.Budget{CPU: 120, Mem: 40}},
+		{workload.AMG(), power.Budget{CPU: 180, Mem: 30}},
+	} {
+		cfg := RunConfig{Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: tc.budget, MaxIterations: 20}
+		dres, err := Run(cl, tc.app, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.app.Name, err)
+		}
+		ares, err := sim.Run(cl, tc.app, sim.Config{
+			Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: tc.budget, MaxIterations: 20,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The controller starts at Fmax and settles within a few
+		// intervals, so the DES run is at most slightly faster.
+		rel := (dres.Time - ares.Time) / ares.Time
+		if rel > 0.01 || rel < -0.10 {
+			t.Errorf("%s: capped DES %.4f vs analytic %.4f (rel %+.3f)",
+				tc.app.Name, dres.Time, ares.Time, rel)
+		}
+		// Steady state: final frequency equals the analytic solution.
+		wantF := ares.Nodes[0].Freq
+		for i, f := range dres.FinalFreqs {
+			if math.Abs(f-wantF) > 1e-9 {
+				t.Errorf("%s node %d settled at %v GHz, analytic %v", tc.app.Name, i, f, wantF)
+			}
+		}
+	}
+}
+
+func TestControllerSettlesAndOvershootBounded(t *testing.T) {
+	cl := cluster(1)
+	cfg := RunConfig{Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 120, Mem: 40}, MaxIterations: 20}
+	res, err := Run(cl, workload.LUMZ(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ControlSteps == 0 {
+		t.Fatal("controller never ran")
+	}
+	// Starting at Fmax against a 120 W cap, transient overshoot exists
+	// but is bounded by the Fmax-vs-cap gap.
+	spec := cl.Spec()
+	maxGap := power.CPUPower(spec, 24, 2, spec.FMax(), 1.0) - 120
+	if res.MaxOvershoot <= 0 {
+		t.Error("expected transient overshoot before the controller settles")
+	}
+	if res.MaxOvershoot > maxGap+1e-6 {
+		t.Errorf("overshoot %v exceeds the physical gap %v", res.MaxOvershoot, maxGap)
+	}
+}
+
+func TestDutyCycleRegimeDES(t *testing.T) {
+	cl := cluster(1)
+	spec := cl.Spec()
+	pFmin := power.CPUPower(spec, 24, 2, spec.FMin(), 1.0)
+	cfg := RunConfig{Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: pFmin * 0.7, Mem: 30}, MaxIterations: 10}
+	res, err := Run(cl, workload.CoMD(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFreqs[0] >= spec.FMin() {
+		t.Errorf("final frequency %v not below Fmin under a starving cap", res.FinalFreqs[0])
+	}
+}
+
+func TestVariabilityBarrierDES(t *testing.T) {
+	cl := cluster(2)
+	cl.Nodes[1].PowerEff = 1.12
+	cfg := RunConfig{Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 150, Mem: 30}, MaxIterations: 10}
+	res, err := Run(cl, workload.AMG(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFreqs[1] >= res.FinalFreqs[0] {
+		t.Errorf("leaky node settled at %v >= nominal %v", res.FinalFreqs[1], res.FinalFreqs[0])
+	}
+}
+
+func TestEnergyPositiveAndConsistent(t *testing.T) {
+	cl := cluster(2)
+	cfg := RunConfig{Nodes: 2, CoresPerNode: 12, Affinity: workload.Compact, MaxIterations: 10}
+	res, err := Run(cl, workload.CoMD(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Energy <= 0 || res.AvgPower <= 0 {
+		t.Error("energy accounting broken")
+	}
+	if math.Abs(res.AvgPower*res.Time-res.Energy) > 1e-6*res.Energy {
+		t.Error("avg power inconsistent with energy")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cl := cluster(2)
+	if _, err := Run(cl, workload.CoMD(), RunConfig{Nodes: 3, CoresPerNode: 12}); err == nil {
+		t.Error("oversubscribed nodes accepted")
+	}
+	if _, err := Run(cl, workload.CoMD(), RunConfig{Nodes: 1, CoresPerNode: 12, ControlInterval: -1}); err == nil {
+		t.Error("negative control interval accepted")
+	}
+}
+
+func TestPerNodeBudgetsDES(t *testing.T) {
+	cl := cluster(2)
+	cfg := RunConfig{Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, MaxIterations: 10,
+		PerNode: []power.Budget{{CPU: 200, Mem: 30}, {CPU: 110, Mem: 30}}}
+	res, err := Run(cl, workload.AMG(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalFreqs[0] <= res.FinalFreqs[1] {
+		t.Error("node with larger budget should settle at a higher frequency")
+	}
+}
+
+func TestMultiPhaseAppDES(t *testing.T) {
+	cl := cluster(1)
+	cfg := RunConfig{Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter, MaxIterations: 5}
+	res, err := Run(cl, workload.BTMZ(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("multi-phase run produced no time")
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	cl := cluster(1)
+	res, err := Run(cl, workload.CoMD(), RunConfig{
+		Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 150, Mem: 30},
+		MaxIterations: 5, RecordTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no trace samples")
+	}
+	// The controller walks down the ladder: frequency must be
+	// non-increasing until the cap is met, then constant while busy.
+	prev := res.Trace[0]
+	if prev.Freq != cl.Spec().FMax() {
+		t.Errorf("first sample at %v GHz, want Fmax (controller starts high)", prev.Freq)
+	}
+	for _, p := range res.Trace {
+		if p.Time < prev.Time {
+			t.Fatal("trace time not monotone")
+		}
+		prev = p
+	}
+	// No-trace runs must not allocate a series.
+	res2, err := Run(cl, workload.CoMD(), RunConfig{
+		Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 150, Mem: 30}, MaxIterations: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Trace) != 0 {
+		t.Error("trace recorded without RecordTrace")
+	}
+}
+
+// TestDESCapsPropertyRandomBudgets: for random CPU caps the DES
+// controller must never let steady-state power exceed the cap by more
+// than the single transient window, and the run must terminate.
+func TestDESCapsPropertyRandomBudgets(t *testing.T) {
+	cl := cluster(2)
+	spec := cl.Spec()
+	apps := []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.TeaLeaf()}
+	for i, capW := range []float64{60, 95, 130, 170, 210, 260} {
+		app := apps[i%len(apps)]
+		res, err := Run(cl, app, RunConfig{
+			Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: power.Budget{CPU: capW, Mem: 35},
+			MaxIterations: 8,
+		})
+		if err != nil {
+			t.Fatalf("%s @%v W: %v", app.Name, capW, err)
+		}
+		// Steady state: the settled frequency's power fits the cap (or
+		// the node is duty-cycling below Fmin).
+		for n, f := range res.FinalFreqs {
+			if f >= spec.FMin() {
+				p := power.CPUPower(spec, 24, 2, spec.NearestFreq(f), cl.Nodes[n].PowerEff)
+				if p > capW+1e-6 {
+					t.Errorf("%s @%v W node %d settled at %v GHz drawing %v W",
+						app.Name, capW, n, f, p)
+				}
+			}
+		}
+		if res.Time <= 0 {
+			t.Errorf("%s @%v W produced no runtime", app.Name, capW)
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package des_test
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// ExampleRun executes a capped run with the discrete-event engine: the
+// feedback controller settles below the cap.
+func ExampleRun() {
+	cluster := hw.NewCluster(2, hw.HaswellSpec(), 0, 1)
+	res, err := des.Run(cluster, workload.AMG(), des.RunConfig{
+		Nodes: 2, CoresPerNode: 24, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 160, Mem: 30},
+		MaxIterations: 10,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("controller ran: %v\n", res.ControlSteps > 0)
+	fmt.Printf("settled below max frequency: %v\n", res.FinalFreqs[0] < cluster.Spec().FMax())
+	// Output:
+	// controller ran: true
+	// settled below max frequency: true
+}

@@ -1,0 +1,30 @@
+package jobsched_test
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/jobsched"
+	"repro/internal/workload"
+)
+
+// ExampleScheduler_Run schedules a two-job stream under a power bound.
+func ExampleScheduler_Run() {
+	cluster := hw.NewCluster(8, hw.HaswellSpec(), 0, 1)
+	s, err := jobsched.New(cluster, nil, jobsched.Config{
+		Bound: 1500, Policy: jobsched.Backfill,
+	})
+	if err != nil {
+		panic(err)
+	}
+	stats, err := s.Run([]jobsched.Job{
+		{ID: "a", App: workload.CoMD(), Arrival: 0},
+		{ID: "b", App: workload.LUMZ(), Arrival: 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d jobs, makespan positive: %v\n",
+		len(stats.Jobs), stats.Makespan > 0)
+	// Output: completed 2 jobs, makespan positive: true
+}

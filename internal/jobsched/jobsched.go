@@ -1,0 +1,612 @@
+// Package jobsched is a power-bounded multi-job runtime scheduler — the
+// runtime system the paper names as future work ("develop a runtime
+// system to ... accommodate the needs"), combined with dynamic power
+// sharing across concurrent jobs in the spirit of POWsched (paper
+// reference [11], Ellsworth et al., SC'15).
+//
+// Jobs arrive over time; the scheduler places each one with CLIP's
+// cluster-level coordination restricted to the currently free nodes and
+// the currently free power, optionally backfills shorter jobs past a
+// blocked queue head, and optionally re-distributes freed power to
+// running jobs (which then finish earlier). The timeline is event
+// driven (internal/des engine), with job runtimes supplied by the
+// analytic simulator.
+package jobsched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/recommend"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Job is one unit of work submitted to the scheduler.
+type Job struct {
+	// ID identifies the job in reports.
+	ID string
+	// App is the application to run (profiled by CLIP on first sight).
+	App *workload.Spec
+	// Arrival is the submission time in seconds.
+	Arrival float64
+}
+
+// Policy selects the queueing discipline.
+type Policy int
+
+const (
+	// FCFS starts jobs strictly in arrival order; a job that does not
+	// fit blocks the queue.
+	FCFS Policy = iota
+	// Backfill lets later jobs start when the queue head does not fit,
+	// EASY-style: a backfilled job must complete before the next
+	// resource release, so it can never delay the head (runtimes are
+	// deterministic here, making the guarantee exact).
+	Backfill
+	// AggressiveBackfill starts any queued job that fits, accepting
+	// that the queue head may be delayed; it can beat EASY when a long
+	// backfilled job overlaps several releases, and lose when it
+	// starves a wide head job.
+	AggressiveBackfill
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Backfill:
+		return "backfill"
+	case AggressiveBackfill:
+		return "aggressive-backfill"
+	default:
+		return "fcfs"
+	}
+}
+
+// Config configures a scheduling run.
+type Config struct {
+	// Bound is the cluster-wide power budget over the managed domains
+	// (CPU+DRAM of all nodes), in watts.
+	Bound float64
+	// Policy is the queueing discipline.
+	Policy Policy
+	// Reallocate enables POWsched-style dynamic power sharing: when a
+	// job finishes and nothing can start, its power is offered to the
+	// running jobs, which re-plan their splits and speed up.
+	Reallocate bool
+	// BoundSchedule optionally varies the bound over time (demand
+	// response): at each change's time the cluster bound becomes its
+	// watts. Running jobs are throttled when the bound drops below the
+	// allocation and can be re-boosted when it recovers (requires
+	// Reallocate for the recovery direction).
+	BoundSchedule []BoundChange
+}
+
+// BoundChange is one step of a time-varying power bound.
+type BoundChange struct {
+	// Time is when the change takes effect (seconds).
+	Time float64
+	// Watts is the new cluster-wide bound.
+	Watts float64
+}
+
+// JobResult reports one job's lifecycle.
+type JobResult struct {
+	ID       string
+	Arrival  float64
+	Start    float64
+	Finish   float64
+	Nodes    int
+	Cores    int
+	PerNodeW float64 // per-node budget at start
+	Boosted  bool    // received reallocated power mid-run
+}
+
+// Wait returns the queueing delay.
+func (r *JobResult) Wait() float64 { return r.Start - r.Arrival }
+
+// Turnaround returns submission-to-completion time.
+func (r *JobResult) Turnaround() float64 { return r.Finish - r.Arrival }
+
+// Stats summarises a workload run.
+type Stats struct {
+	Makespan      float64
+	AvgWait       float64
+	AvgTurnaround float64
+	// AvgPowerUse is the time-averaged fraction of the bound allocated
+	// to running jobs.
+	AvgPowerUse float64
+	Jobs        []JobResult
+}
+
+// Scheduler places jobs on a power-bounded cluster.
+type Scheduler struct {
+	Cluster *hw.Cluster
+	CLIP    *core.CLIP
+	Config  Config
+}
+
+// New builds a scheduler sharing CLIP's knowledge database and trained
+// regression.
+func New(cl *hw.Cluster, clip *core.CLIP, cfg Config) (*Scheduler, error) {
+	if cfg.Bound <= 0 {
+		return nil, fmt.Errorf("jobsched: non-positive bound %.1f", cfg.Bound)
+	}
+	if clip == nil {
+		var err error
+		clip, err = core.New(cl)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Scheduler{Cluster: cl, CLIP: clip, Config: cfg}, nil
+}
+
+// runningJob tracks an executing job.
+type runningJob struct {
+	job        Job
+	result     *JobResult
+	globalIDs  []int
+	cores      int
+	affinity   workload.Affinity
+	perNode    power.Budget
+	iterTime   float64
+	itersLeft  float64
+	lastUpdate float64
+	completion *des.Event
+	finishAt   float64 // scheduled completion time
+	powerUsed  float64 // total managed watts held by this job
+}
+
+// schedState is the mutable state of one Run.
+type schedState struct {
+	s       *Scheduler
+	eng     *des.Engine
+	queue   []Job
+	running map[string]*runningJob
+	freeSet map[int]bool // global node ids
+	freeW   float64
+	bound   float64 // current (possibly time-varying) bound
+	stats   *Stats
+	// power-use integral
+	lastAccount  float64
+	usedIntegral float64
+	failure      error
+}
+
+// Run schedules the job list to completion and returns statistics.
+func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("jobsched: empty job list")
+	}
+	for i, j := range jobs {
+		if j.App == nil {
+			return nil, fmt.Errorf("jobsched: job %d has no application", i)
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("jobsched: job %q arrives before time zero", j.ID)
+		}
+	}
+	st := &schedState{
+		s:       s,
+		eng:     des.NewEngine(),
+		running: make(map[string]*runningJob),
+		freeSet: make(map[int]bool),
+		freeW:   s.Config.Bound,
+		bound:   s.Config.Bound,
+		stats:   &Stats{},
+	}
+	for i := range s.Cluster.Nodes {
+		st.freeSet[i] = true
+	}
+	for _, bc := range s.Config.BoundSchedule {
+		bc := bc
+		if bc.Time < 0 || bc.Watts <= 0 {
+			return nil, fmt.Errorf("jobsched: invalid bound change at t=%g to %g W", bc.Time, bc.Watts)
+		}
+		if _, err := st.eng.At(bc.Time, func() { st.applyBoundChange(bc.Watts) }); err != nil {
+			return nil, err
+		}
+	}
+	sorted := append([]Job(nil), jobs...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
+	for _, j := range sorted {
+		j := j
+		if _, err := st.eng.At(j.Arrival, func() { st.arrive(j) }); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.eng.Run(0, 0); err != nil {
+		return nil, err
+	}
+	if st.failure != nil {
+		return nil, st.failure
+	}
+	if len(st.queue) > 0 || len(st.running) > 0 {
+		return nil, fmt.Errorf("jobsched: %d queued and %d running jobs never finished",
+			len(st.queue), len(st.running))
+	}
+
+	st.accountPower()
+	res := st.stats
+	res.Makespan = st.eng.Now()
+	var wait, turn float64
+	for _, jr := range res.Jobs {
+		wait += jr.Wait()
+		turn += jr.Turnaround()
+	}
+	n := float64(len(res.Jobs))
+	res.AvgWait = wait / n
+	res.AvgTurnaround = turn / n
+	if res.Makespan > 0 {
+		res.AvgPowerUse = st.usedIntegral / (res.Makespan * s.Config.Bound)
+	}
+	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].Start < res.Jobs[b].Start })
+	return res, nil
+}
+
+// accountPower integrates allocated power over time.
+func (st *schedState) accountPower() {
+	now := st.eng.Now()
+	dt := now - st.lastAccount
+	if dt > 0 {
+		used := st.bound - st.freeW
+		st.usedIntegral += used * dt
+		st.lastAccount = now
+	}
+}
+
+// arrive enqueues a job and tries to dispatch.
+func (st *schedState) arrive(j Job) {
+	st.queue = append(st.queue, j)
+	st.dispatch()
+}
+
+// dispatch starts as many queued jobs as the policy and resources allow.
+func (st *schedState) dispatch() {
+	progress := true
+	for progress {
+		progress = false
+		for qi := 0; qi < len(st.queue); qi++ {
+			if qi > 0 && st.s.Config.Policy == FCFS {
+				break // head of queue blocks
+			}
+			// The head may start whenever it fits. A backfilled job
+			// must finish before the next resource release (shadow
+			// time), so the head's earliest start is never delayed.
+			deadline := math.Inf(1)
+			if qi > 0 && st.s.Config.Policy == Backfill {
+				deadline = st.shadowTime()
+			}
+			if st.tryStart(st.queue[qi], deadline) {
+				st.queue = append(st.queue[:qi], st.queue[qi+1:]...)
+				progress = true
+				break
+			}
+		}
+	}
+}
+
+// shadowTime returns the earliest scheduled completion among running
+// jobs — the first moment the blocked queue head could acquire more
+// resources.
+func (st *schedState) shadowTime() float64 {
+	shadow := math.Inf(1)
+	for _, rj := range st.running {
+		if rj.finishAt < shadow {
+			shadow = rj.finishAt
+		}
+	}
+	return shadow
+}
+
+// tryStart attempts to place one job on the free nodes with the free
+// power; returns true when the job started. The job is only started
+// when it would complete by deadline (backfill safety window).
+func (st *schedState) tryStart(j Job, deadline float64) bool {
+	free := st.freeIDs()
+	if len(free) == 0 || st.freeW <= 0 {
+		return false
+	}
+	prof, pd, err := st.s.CLIP.Predictor(j.App)
+	if err != nil {
+		st.failure = err
+		return false
+	}
+	sub := subCluster(st.s.Cluster, free)
+	co := &coordinator.Coordinator{Cluster: sub}
+	d, err := co.Schedule(j.App, prof, pd, st.freeW)
+	if err != nil {
+		return false // does not fit now; retry on the next completion
+	}
+	if !d.NodeCfg.CapOK {
+		// Below the acceptable power range: wait for more power unless
+		// nothing is running (then duty-cycling beats starvation).
+		if len(st.running) > 0 {
+			return false
+		}
+	}
+
+	// Map subcluster slots back to global node ids.
+	globals := make([]int, 0, len(d.Plan.NodeIDs))
+	for _, slot := range d.Plan.NodeIDs {
+		globals = append(globals, free[slot])
+	}
+	res, err := sim.Run(sub, j.App, d.Plan.SimConfig())
+	if err != nil {
+		st.failure = err
+		return false
+	}
+	if st.eng.Now()+res.Time > deadline {
+		return false // would delay the queue head past the shadow time
+	}
+
+	st.accountPower()
+	used := d.Plan.TotalBudget()
+	st.freeW -= used
+	for _, id := range globals {
+		delete(st.freeSet, id)
+	}
+	rj := &runningJob{
+		job: j,
+		result: &JobResult{
+			ID: j.ID, Arrival: j.Arrival, Start: st.eng.Now(),
+			Nodes: len(globals), Cores: d.Plan.Cores,
+			PerNodeW: d.Plan.PerNode[0].Total(),
+		},
+		globalIDs:  globals,
+		cores:      d.Plan.Cores,
+		affinity:   d.Plan.Affinity,
+		perNode:    d.Plan.PerNode[0],
+		iterTime:   res.IterTime,
+		itersLeft:  float64(res.Iterations),
+		lastUpdate: st.eng.Now(),
+		powerUsed:  used,
+	}
+	st.running[j.ID] = rj
+	st.scheduleCompletion(rj)
+	return true
+}
+
+// scheduleCompletion (re)schedules a running job's finish event.
+func (st *schedState) scheduleCompletion(rj *runningJob) {
+	if rj.completion != nil {
+		rj.completion.Cancel()
+	}
+	ev, err := st.eng.After(rj.itersLeft*rj.iterTime, func() { st.finish(rj) })
+	if err != nil {
+		st.failure = err
+		return
+	}
+	rj.completion = ev
+	rj.finishAt = st.eng.Now() + rj.itersLeft*rj.iterTime
+}
+
+// progressTo updates a running job's remaining iterations to time now.
+func (rj *runningJob) progressTo(now float64) {
+	if rj.iterTime > 0 {
+		rj.itersLeft -= (now - rj.lastUpdate) / rj.iterTime
+		if rj.itersLeft < 0 {
+			rj.itersLeft = 0
+		}
+	}
+	rj.lastUpdate = now
+}
+
+// finish completes a job, frees its resources and dispatches.
+func (st *schedState) finish(rj *runningJob) {
+	st.accountPower()
+	rj.result.Finish = st.eng.Now()
+	st.stats.Jobs = append(st.stats.Jobs, *rj.result)
+	delete(st.running, rj.job.ID)
+	st.freeW += rj.powerUsed
+	for _, id := range rj.globalIDs {
+		st.freeSet[id] = true
+	}
+	st.dispatch()
+	if st.s.Config.Reallocate {
+		st.reallocate()
+	}
+}
+
+// reallocate offers surplus power to running jobs (POWsched-style):
+// each running job re-plans its CPU/DRAM split at its fixed node count
+// and concurrency with a fatter per-node budget; jobs that speed up
+// keep the extra power until they finish.
+func (st *schedState) reallocate() {
+	if st.freeW <= 1 || len(st.running) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(st.running))
+	for id := range st.running {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // determinism
+	share := st.freeW / float64(len(ids))
+	for _, id := range ids {
+		rj := st.running[id]
+		prof, pd, err := st.s.CLIP.Predictor(rj.job.App)
+		if err != nil {
+			st.failure = err
+			return
+		}
+		spec := st.s.Cluster.Spec()
+		newPerNode := rj.perNode.Total() + share/float64(len(rj.globalIDs))
+		cfg, err := recommend.Recommend(spec, prof, pd, newPerNode, 1.0)
+		if err != nil || cfg.Cores != rj.cores {
+			// Only power boosts that keep the execution configuration
+			// are safe mid-run (cores/affinity cannot change without a
+			// restart).
+			cfg, err = fixedConfigBoost(spec, pd, rj, newPerNode)
+			if err != nil {
+				continue
+			}
+		}
+		if cfg.Budget.Total() <= rj.perNode.Total()+1e-9 {
+			continue // no useful boost
+		}
+		st.applyBoost(rj, cfg)
+	}
+}
+
+// fixedConfigBoost sizes a bigger budget for the job's existing
+// (cores, affinity) configuration.
+func fixedConfigBoost(spec *hw.NodeSpec, pd *perfmodel.Predictor, rj *runningJob, perNode float64) (recommend.NodeConfig, error) {
+	sockets := sim.SocketsUsedFor(spec, rj.cores, rj.affinity)
+	mem := math.Min(pd.MemDemandWatts(rj.cores)+recommend.MemHeadroomWatts,
+		float64(sockets)*spec.MemMaxPower)
+	cpu := perNode - mem
+	if cpu <= rj.perNode.CPU {
+		return recommend.NodeConfig{}, fmt.Errorf("jobsched: no boost available")
+	}
+	f, _, ok := power.EffectiveFreq(spec, rj.cores, sockets, cpu, 1.0)
+	return recommend.NodeConfig{
+		Cores: rj.cores, Affinity: rj.affinity,
+		Budget: power.Budget{CPU: cpu, Mem: mem},
+		Freq:   f, CapOK: ok,
+		PredIterTime: pd.Time(rj.cores, f, mem),
+	}, nil
+}
+
+// applyBoost gives a running job a fatter budget and reschedules its
+// completion from the remaining iterations at the new speed.
+func (st *schedState) applyBoost(rj *runningJob, cfg recommend.NodeConfig) {
+	res, err := st.previewRetune(rj, cfg.Budget)
+	if err != nil {
+		st.failure = err
+		return
+	}
+	if res.IterTime >= rj.iterTime-1e-12 {
+		return // not actually faster
+	}
+	extra := cfg.Budget.Total()*float64(len(rj.globalIDs)) - rj.powerUsed
+	if extra > st.freeW {
+		return
+	}
+	st.commitRetune(rj, cfg.Budget, res.IterTime)
+	rj.result.Boosted = true
+}
+
+// previewRetune simulates a running job's fixed configuration under a
+// new per-node budget without committing.
+func (st *schedState) previewRetune(rj *runningJob, b power.Budget) (*sim.Result, error) {
+	sub := subCluster(st.s.Cluster, rj.globalIDs)
+	p := &plan.Plan{
+		NodeIDs: plan.FirstN(len(rj.globalIDs)), Cores: rj.cores, Affinity: rj.affinity,
+		PerNode: plan.UniformBudgets(len(rj.globalIDs), b),
+	}
+	return sim.Run(sub, rj.job.App, p.SimConfig())
+}
+
+// commitRetune adjusts the job's allocation and reschedules completion
+// from the remaining iterations at the new iteration time.
+func (st *schedState) commitRetune(rj *runningJob, b power.Budget, iterTime float64) {
+	st.accountPower()
+	rj.progressTo(st.eng.Now())
+	extra := b.Total()*float64(len(rj.globalIDs)) - rj.powerUsed
+	st.freeW -= extra
+	rj.powerUsed += extra
+	rj.perNode = b
+	rj.iterTime = iterTime
+	st.scheduleCompletion(rj)
+}
+
+// applyBoundChange reacts to a demand-response step in the cluster
+// bound: surplus is released to the queue (and running jobs under
+// Reallocate); a deficit throttles running jobs proportionally until
+// the allocation fits the new bound.
+func (st *schedState) applyBoundChange(watts float64) {
+	st.accountPower()
+	delta := watts - st.bound
+	st.bound = watts
+	st.freeW += delta
+	if st.freeW < -1e-9 {
+		st.shedPower()
+	}
+	st.dispatch()
+	if st.s.Config.Reallocate {
+		st.reallocate()
+	}
+}
+
+// shedPower shrinks running jobs' budgets proportionally until the
+// total allocation fits the reduced bound. Jobs keep their node count
+// and concurrency (a restart would cost more than a slowdown); the CPU
+// domain absorbs the cut, with DRAM trimmed only when unavoidable.
+func (st *schedState) shedPower() {
+	if len(st.running) == 0 {
+		// Nothing to shed from; the deficit resolves as queued work
+		// stays queued until the bound recovers.
+		return
+	}
+	var totalAlloc float64
+	ids := make([]string, 0, len(st.running))
+	for id, rj := range st.running {
+		ids = append(ids, id)
+		totalAlloc += rj.powerUsed
+	}
+	sort.Strings(ids)
+	target := totalAlloc + st.freeW // freeW < 0
+	if target < 1 {
+		target = 1
+	}
+	factor := target / totalAlloc
+	spec := st.s.Cluster.Spec()
+	for _, id := range ids {
+		rj := st.running[id]
+		perNode := rj.powerUsed * factor / float64(len(rj.globalIDs))
+		b := shrinkBudget(spec, rj, perNode)
+		res, err := st.previewRetune(rj, b)
+		if err != nil {
+			st.failure = err
+			return
+		}
+		st.commitRetune(rj, b, res.IterTime)
+	}
+}
+
+// shrinkBudget splits a reduced per-node budget for a job's fixed
+// configuration: DRAM keeps its allocation while possible, the CPU
+// domain takes the cut.
+func shrinkBudget(spec *hw.NodeSpec, rj *runningJob, perNode float64) power.Budget {
+	sockets := sim.SocketsUsedFor(spec, rj.cores, rj.affinity)
+	mem := math.Min(rj.perNode.Mem, perNode*0.5)
+	base := float64(sockets) * spec.MemBasePower
+	if mem < base {
+		mem = math.Min(base, perNode*0.5)
+	}
+	cpu := perNode - mem
+	if cpu < 1 {
+		cpu = math.Max(perNode-mem, perNode*0.5)
+	}
+	return power.Budget{CPU: cpu, Mem: mem}
+}
+
+// freeIDs returns the free node ids, sorted.
+func (st *schedState) freeIDs() []int {
+	out := make([]int, 0, len(st.freeSet))
+	for id := range st.freeSet {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// subCluster builds a cluster view over the given global node ids
+// (slots renumbered 0..n-1, sharing the node objects' variability).
+func subCluster(cl *hw.Cluster, ids []int) *hw.Cluster {
+	nodes := make([]*hw.Node, len(ids))
+	for i, id := range ids {
+		orig := cl.Nodes[id]
+		nodes[i] = &hw.Node{ID: i, Spec: orig.Spec, PowerEff: orig.PowerEff}
+	}
+	return &hw.Cluster{Nodes: nodes, LinkBW: cl.LinkBW, CommBaseLatency: cl.CommBaseLatency}
+}

@@ -1,0 +1,23 @@
+package mlr_test
+
+import (
+	"fmt"
+
+	"repro/internal/mlr"
+)
+
+// ExampleFit fits a noiseless plane and recovers it exactly.
+func ExampleFit() {
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}
+	y := make([]float64, len(x))
+	for i, row := range x {
+		y[i] = 1 + 2*row[0] - 3*row[1] // the plane to recover
+	}
+	m, err := mlr.Fit(x, y, 0)
+	if err != nil {
+		panic(err)
+	}
+	p, _ := m.Predict([]float64{4, 2})
+	fmt.Printf("f(4,2) = %.1f\n", p)
+	// Output: f(4,2) = 3.0
+}

@@ -1,0 +1,36 @@
+package mlr
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFitPredict: any finite 2-feature data set either fails to fit or
+// produces a model whose predictions are finite at the training points.
+func FuzzFitPredict(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+	f.Add(-1e6, 1e6, 0.5, -0.5, 3.14, 2.71)
+	f.Fuzz(func(t *testing.T, a, b, c, d, e, g float64) {
+		for _, v := range []float64{a, b, c, d, e, g} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				t.Skip()
+			}
+		}
+		x := [][]float64{{a, b}, {c, d}, {e, g}, {a + 1, b - 1}}
+		y := []float64{a + b, c + d, e + g, a + b}
+		m, err := Fit(x, y, 0.5)
+		if err != nil {
+			return
+		}
+		for i := range x {
+			p, err := m.Predict(x[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("non-finite prediction %v for row %d", p, i)
+			}
+		}
+	})
+}

@@ -1,0 +1,212 @@
+// Package mlr implements multivariate linear regression, the model the
+// paper trains to predict the inflection point NP from hardware-event
+// rates (§III-A2). The paper deliberately avoids heavier machine
+// learning: "more sophisticated machine learning methods may generate
+// overfit ... because the amount of data collected is insufficient."
+//
+// Fitting is ordinary least squares via the normal equations with ridge
+// damping, solved with Gaussian elimination with partial pivoting —
+// stdlib only, no external linear-algebra dependency.
+package mlr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a fitted linear regression y = b0 + Σ bi·xi over
+// standardised features.
+type Model struct {
+	// Coef holds the intercept at index 0 followed by one coefficient
+	// per (standardised) feature.
+	Coef []float64
+	// Mean and Std hold the feature standardisation parameters.
+	Mean []float64
+	Std  []float64
+}
+
+// NumFeatures returns the input dimensionality.
+func (m *Model) NumFeatures() int { return len(m.Mean) }
+
+// Fit trains a model on rows X (n samples × d features) and targets y.
+// ridge > 0 adds L2 damping on the (standardised) coefficients, which
+// stabilises the small training sets the paper works with. Fit returns
+// an error when the system is unsolvable or inputs are inconsistent.
+func Fit(x [][]float64, y []float64, ridge float64) (*Model, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("mlr: no samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("mlr: %d samples but %d targets", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, fmt.Errorf("mlr: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("mlr: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("mlr: negative ridge %g", ridge)
+	}
+
+	mean, std := standardiseParams(x)
+	// Design matrix with intercept column, standardised features.
+	z := make([][]float64, n)
+	for i := range z {
+		z[i] = make([]float64, d+1)
+		z[i][0] = 1
+		for j := 0; j < d; j++ {
+			z[i][j+1] = (x[i][j] - mean[j]) / std[j]
+		}
+	}
+
+	// Normal equations: (ZᵀZ + λI)·b = Zᵀy (no damping on intercept).
+	k := d + 1
+	a := make([][]float64, k)
+	b := make([]float64, k)
+	for r := 0; r < k; r++ {
+		a[r] = make([]float64, k)
+		for c := 0; c < k; c++ {
+			var s float64
+			for i := 0; i < n; i++ {
+				s += z[i][r] * z[i][c]
+			}
+			a[r][c] = s
+		}
+		if r > 0 {
+			a[r][r] += ridge
+		}
+		var s float64
+		for i := 0; i < n; i++ {
+			s += z[i][r] * y[i]
+		}
+		b[r] = s
+	}
+
+	coef, err := solve(a, b)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Coef: coef, Mean: mean, Std: std}, nil
+}
+
+// Predict evaluates the model at feature vector x.
+func (m *Model) Predict(x []float64) (float64, error) {
+	if len(x) != m.NumFeatures() {
+		return 0, fmt.Errorf("mlr: predict with %d features, model has %d", len(x), m.NumFeatures())
+	}
+	y := m.Coef[0]
+	for j, v := range x {
+		y += m.Coef[j+1] * (v - m.Mean[j]) / m.Std[j]
+	}
+	return y, nil
+}
+
+// standardiseParams computes per-feature mean and standard deviation;
+// constant features get Std 1 so they standardise to zero.
+func standardiseParams(x [][]float64) (mean, std []float64) {
+	n := float64(len(x))
+	d := len(x[0])
+	mean = make([]float64, d)
+	std = make([]float64, d)
+	for j := 0; j < d; j++ {
+		var s float64
+		for i := range x {
+			s += x[i][j]
+		}
+		mean[j] = s / n
+		var v float64
+		for i := range x {
+			dd := x[i][j] - mean[j]
+			v += dd * dd
+		}
+		std[j] = math.Sqrt(v / n)
+		if std[j] < 1e-12 {
+			std[j] = 1
+		}
+	}
+	return mean, std
+}
+
+// solve performs Gaussian elimination with partial pivoting on a·x = b,
+// destroying its inputs.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("mlr: singular system at column %d", col)
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}
+
+// R2 returns the coefficient of determination of predictions pred
+// against truth y.
+func R2(y, pred []float64) float64 {
+	if len(y) == 0 || len(y) != len(pred) {
+		return math.NaN()
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		r := y[i] - pred[i]
+		ssRes += r * r
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.NaN()
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAE returns the mean absolute error of pred against y.
+func MAE(y, pred []float64) float64 {
+	if len(y) == 0 || len(y) != len(pred) {
+		return math.NaN()
+	}
+	var s float64
+	for i := range y {
+		s += math.Abs(y[i] - pred[i])
+	}
+	return s / float64(len(y))
+}

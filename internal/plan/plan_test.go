@@ -1,0 +1,119 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+func cluster() *hw.Cluster { return hw.NewCluster(4, hw.HaswellSpec(), 0, 1) }
+
+func validPlan() *Plan {
+	return &Plan{
+		NodeIDs:  []int{0, 1},
+		Cores:    12,
+		Affinity: workload.Compact,
+		PerNode:  UniformBudgets(2, power.Budget{CPU: 100, Mem: 30}),
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validPlan().Validate(cluster(), 300); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Plan)
+		bound float64
+	}{
+		{"no nodes", func(p *Plan) { p.NodeIDs = nil }, 300},
+		{"budget count mismatch", func(p *Plan) { p.PerNode = p.PerNode[:1] }, 300},
+		{"zero cores", func(p *Plan) { p.Cores = 0 }, 300},
+		{"too many cores", func(p *Plan) { p.Cores = 25 }, 300},
+		{"node id out of range", func(p *Plan) { p.NodeIDs = []int{0, 9} }, 300},
+		{"over bound", func(p *Plan) {}, 200},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := validPlan()
+			c.mut(p)
+			if err := p.Validate(cluster(), c.bound); err == nil {
+				t.Error("invalid plan accepted")
+			}
+		})
+	}
+}
+
+func TestTotalBudget(t *testing.T) {
+	p := validPlan()
+	if got := p.TotalBudget(); got != 260 {
+		t.Errorf("TotalBudget = %v, want 260", got)
+	}
+}
+
+func TestSimConfigMapping(t *testing.T) {
+	p := validPlan()
+	p.PhaseCores = map[string]int{"x": 4}
+	cfg := p.SimConfig()
+	if cfg.Nodes != 2 || cfg.CoresPerNode != 12 || !cfg.Capped {
+		t.Errorf("SimConfig mapping wrong: %+v", cfg)
+	}
+	if len(cfg.PerNode) != 2 || cfg.PerNode[0].CPU != 100 {
+		t.Error("budgets not carried over")
+	}
+	if cfg.PhaseCores["x"] != 4 {
+		t.Error("phase overrides not carried over")
+	}
+	if cfg.NodeIDs[1] != 1 {
+		t.Error("node ids not carried over")
+	}
+}
+
+func TestExecute(t *testing.T) {
+	cl := cluster()
+	p := validPlan()
+	res, err := Execute(cl, workload.CoMD(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time <= 0 {
+		t.Error("execution produced no runtime")
+	}
+	for _, nr := range res.Nodes {
+		if nr.CPUPower > 100+1e-6 {
+			t.Error("plan budget not enforced in execution")
+		}
+	}
+}
+
+func TestUniformBudgets(t *testing.T) {
+	b := UniformBudgets(3, power.Budget{CPU: 10, Mem: 5})
+	if len(b) != 3 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for _, x := range b {
+		if x.CPU != 10 || x.Mem != 5 {
+			t.Error("budget copy wrong")
+		}
+	}
+}
+
+func TestFirstN(t *testing.T) {
+	ids := FirstN(4)
+	for i, id := range ids {
+		if id != i {
+			t.Errorf("FirstN[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestNodes(t *testing.T) {
+	if validPlan().Nodes() != 2 {
+		t.Error("Nodes() wrong")
+	}
+}

@@ -1,0 +1,222 @@
+// Package power models node power consumption and RAPL-like power
+// capping. The paper enforces power bounds with Intel RAPL (PKG and DRAM
+// domains) and DVFS; this package reproduces those actuators analytically:
+// a cap solver derates the DVFS frequency until the CPU domain fits its
+// cap, and a DRAM cap admits a proportional fraction of peak bandwidth.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// Budget is a node-level power budget split across the two manageable
+// domains (the paper's Pcpu and Pmem), in watts. CPU covers all sockets
+// of the node together; Mem covers all DRAM domains together.
+type Budget struct {
+	CPU float64
+	Mem float64
+}
+
+// Total returns CPU + Mem.
+func (b Budget) Total() float64 { return b.CPU + b.Mem }
+
+// Valid reports whether both domains are non-negative.
+func (b Budget) Valid() bool { return b.CPU >= 0 && b.Mem >= 0 }
+
+// String renders the budget for logs and tables.
+func (b Budget) String() string {
+	return fmt.Sprintf("cpu=%.1fW mem=%.1fW", b.CPU, b.Mem)
+}
+
+// CPUPower returns the CPU-domain power of one node in watts when
+// activeCores cores run at frequency f (GHz), distributed over
+// socketsUsed sockets, scaled by the node's manufacturing variability
+// coefficient eff. Sockets with no active cores are assumed parked into
+// a deep package sleep state and draw no budgeted power.
+func CPUPower(spec *hw.NodeSpec, activeCores, socketsUsed int, f, eff float64) float64 {
+	if activeCores <= 0 || socketsUsed <= 0 {
+		return 0
+	}
+	perCore := spec.CoreIdlePower + spec.CoreDynCoeff*math.Pow(f, spec.CoreDynExp)
+	p := float64(socketsUsed)*spec.SocketBasePower + float64(activeCores)*perCore
+	return p * eff
+}
+
+// MemPowerAt returns the DRAM-domain power in watts when the node draws
+// bw GB/s of memory bandwidth over socketsUsed sockets. The model is
+// linear between base (idle) and max (full bandwidth) power, matching
+// measured DRAM activity power on Haswell.
+func MemPowerAt(spec *hw.NodeSpec, socketsUsed int, bw float64) float64 {
+	if socketsUsed <= 0 {
+		return 0
+	}
+	maxBW := float64(socketsUsed) * spec.SocketMemBW
+	util := 0.0
+	if maxBW > 0 {
+		util = math.Min(1, math.Max(0, bw/maxBW))
+	}
+	base := float64(socketsUsed) * spec.MemBasePower
+	span := float64(socketsUsed) * (spec.MemMaxPower - spec.MemBasePower)
+	return base + util*span
+}
+
+// MemBandwidthCap returns the maximum memory bandwidth (GB/s, across
+// socketsUsed sockets) admissible under a DRAM power cap of memCap
+// watts. This is the inverse of MemPowerAt: RAPL DRAM limiting manifests
+// as bandwidth throttling.
+func MemBandwidthCap(spec *hw.NodeSpec, socketsUsed int, memCap float64) float64 {
+	if socketsUsed <= 0 {
+		return 0
+	}
+	base := float64(socketsUsed) * spec.MemBasePower
+	span := float64(socketsUsed) * (spec.MemMaxPower - spec.MemBasePower)
+	if memCap <= base {
+		// Below background power the modules still refresh; admit a
+		// trickle so forward progress is possible (RAPL cannot power
+		// off DIMMs either).
+		return 0.02 * float64(socketsUsed) * spec.SocketMemBW
+	}
+	util := math.Min(1, (memCap-base)/span)
+	return util * float64(socketsUsed) * spec.SocketMemBW
+}
+
+// DutyCycleEfficiency is the useful fraction of throughput retained per
+// unit of duty cycle when RAPL clamps below the lowest DVFS frequency
+// with clock modulation: stop-go execution wastes pipeline refills, so
+// 1 W of duty-cycled budget buys less performance than 1 W of DVFS
+// budget. This is why running inside the paper's "acceptable power
+// range" beats letting RAPL throttle.
+const DutyCycleEfficiency = 0.75
+
+// EffectiveFreq returns the throughput-equivalent frequency sustained
+// under cpuCap. Within the DVFS range it is a ladder frequency; below
+// the range it falls back to duty-cycled Fmin with efficiency loss.
+// ok is false when duty cycling was required.
+func EffectiveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff float64) (fEff, pDraw float64, ok bool) {
+	f, p, ok := SolveFreq(spec, activeCores, socketsUsed, cpuCap, eff)
+	if ok {
+		return f, p, true
+	}
+	duty := cpuCap / p
+	if duty < 0.05 {
+		duty = 0.05
+	}
+	return f * duty * DutyCycleEfficiency, math.Min(cpuCap, p), false
+}
+
+// SolveFreq returns the highest DVFS ladder frequency at which
+// activeCores cores over socketsUsed sockets fit within cpuCap watts for
+// a node with variability eff, and the power drawn at that frequency.
+// ok is false when even the lowest frequency exceeds the cap; the lowest
+// frequency is still returned (clamping below Fmin is not possible with
+// DVFS alone, mirroring RAPL's behaviour of duty-cycling, which the
+// paper's acceptable power range explicitly avoids).
+func SolveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff float64) (f, p float64, ok bool) {
+	for i := len(spec.FreqLevels) - 1; i >= 0; i-- {
+		f = spec.FreqLevels[i]
+		p = CPUPower(spec, activeCores, socketsUsed, f, eff)
+		if p <= cpuCap+1e-9 {
+			return f, p, true
+		}
+	}
+	f = spec.FMin()
+	return f, CPUPower(spec, activeCores, socketsUsed, f, eff), false
+}
+
+// MaxCoresAt returns the largest number of active cores that fit within
+// cpuCap watts at frequency f (GHz) using the fewest sockets that can
+// host them, plus the socket count used. Zero cores means the cap cannot
+// host even one core.
+func MaxCoresAt(spec *hw.NodeSpec, cpuCap, f, eff float64) (cores, sockets int) {
+	for n := spec.Cores(); n >= 1; n-- {
+		s := SocketsFor(spec, n)
+		if CPUPower(spec, n, s, f, eff) <= cpuCap+1e-9 {
+			return n, s
+		}
+	}
+	return 0, 0
+}
+
+// SocketsFor returns the fewest sockets needed to host n cores.
+func SocketsFor(spec *hw.NodeSpec, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	s := (n + spec.CoresPerSocket - 1) / spec.CoresPerSocket
+	if s > spec.Sockets {
+		s = spec.Sockets
+	}
+	return s
+}
+
+// NodeEnvelope describes the efficient node-power operating range for an
+// application configuration: Lo is the power at the lowest frequency
+// (the paper's Pcpu,L2 + Pmem,L2 lower bound of the acceptable range)
+// and Hi the power at the highest frequency (Pcpu,L1 + Pmem,L1). Budgets
+// below Lo degrade performance disproportionately; budgets above Hi are
+// wasted on this node.
+type NodeEnvelope struct {
+	CPULo, MemLo float64
+	CPUHi, MemHi float64
+}
+
+// Lo returns the lower bound of the acceptable node power range.
+func (e NodeEnvelope) Lo() float64 { return e.CPULo + e.MemLo }
+
+// Hi returns the upper bound of the acceptable node power range.
+func (e NodeEnvelope) Hi() float64 { return e.CPUHi + e.MemHi }
+
+// Envelope computes the acceptable power range for a node running
+// activeCores cores over socketsUsed sockets with memory demand bwDemand
+// GB/s (the bandwidth the application would consume unthrottled).
+func Envelope(spec *hw.NodeSpec, activeCores, socketsUsed int, bwDemand, eff float64) NodeEnvelope {
+	memAt := func() float64 {
+		bwCap := float64(socketsUsed) * spec.SocketMemBW
+		return MemPowerAt(spec, socketsUsed, math.Min(bwDemand, bwCap))
+	}
+	return NodeEnvelope{
+		CPULo: CPUPower(spec, activeCores, socketsUsed, spec.FMin(), eff),
+		MemLo: memAt(),
+		CPUHi: CPUPower(spec, activeCores, socketsUsed, spec.FMax(), eff),
+		MemHi: memAt(),
+	}
+}
+
+// Meter accumulates energy over simulated execution.
+type Meter struct {
+	energy  float64 // joules
+	seconds float64
+	peak    float64
+}
+
+// Accumulate records a phase that drew p watts for dt seconds.
+func (m *Meter) Accumulate(p, dt float64) {
+	if dt < 0 {
+		return
+	}
+	m.energy += p * dt
+	m.seconds += dt
+	if p > m.peak {
+		m.peak = p
+	}
+}
+
+// Energy returns total joules recorded.
+func (m *Meter) Energy() float64 { return m.energy }
+
+// AvgPower returns average watts over the recorded duration.
+func (m *Meter) AvgPower() float64 {
+	if m.seconds == 0 {
+		return 0
+	}
+	return m.energy / m.seconds
+}
+
+// Peak returns the highest instantaneous power recorded.
+func (m *Meter) Peak() float64 { return m.peak }
+
+// Duration returns the total recorded seconds.
+func (m *Meter) Duration() float64 { return m.seconds }

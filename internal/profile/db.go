@@ -1,0 +1,86 @@
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// DB is the knowledge database of the application execution module
+// (§IV-B3): profiles keyed by application name. The scheduler consults
+// it before deciding whether smart profiling is needed. It is safe for
+// concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	entries map[string]*Profile
+}
+
+// NewDB returns an empty knowledge database.
+func NewDB() *DB { return &DB{entries: make(map[string]*Profile)} }
+
+// Get returns the stored profile for app, if any.
+func (db *DB) Get(app string) (*Profile, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	p, ok := db.entries[app]
+	return p, ok
+}
+
+// Put stores (or replaces) a profile.
+func (db *DB) Put(p *Profile) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.entries[p.App] = p
+}
+
+// Len returns the number of stored profiles.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entries)
+}
+
+// Apps returns the stored application names, sorted.
+func (db *DB) Apps() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.entries))
+	for k := range db.entries {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Save writes the database as JSON to path.
+func (db *DB) Save(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	data, err := json.MarshalIndent(db.entries, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profile: encode db: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("profile: write db: %w", err)
+	}
+	return nil
+}
+
+// LoadDB reads a database previously written by Save.
+func LoadDB(path string) (*DB, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("profile: read db: %w", err)
+	}
+	entries := make(map[string]*Profile)
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("profile: decode db: %w", err)
+	}
+	db := NewDB()
+	for _, p := range entries {
+		db.Put(p)
+	}
+	return db, nil
+}

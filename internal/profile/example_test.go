@@ -1,0 +1,21 @@
+package profile_test
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// ExampleProfiler_Basic runs the two-sample smart profiling flow and
+// prints the classification.
+func ExampleProfiler_Basic() {
+	pr := &profile.Profiler{Cluster: hw.NewCluster(1, hw.HaswellSpec(), 0, 1)}
+	p, err := pr.Basic(workload.CoMD())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s is %s (affinity %s)\n", p.App, p.Class, p.Affinity)
+	// Output: comd is linear (affinity compact)
+}

@@ -1,0 +1,47 @@
+package profile
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// TestExtendedSuiteClassification verifies the HPCC/PolyBench/proxy-app
+// catalogue reproduces its declared scalability classes under smart
+// profiling, like the Table II suite does.
+func TestExtendedSuiteClassification(t *testing.T) {
+	pr := &Profiler{Cluster: hw.NewCluster(1, hw.HaswellSpec(), 0, 1)}
+	for _, app := range workload.ExtendedSuite() {
+		p, err := pr.Basic(app)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if p.Class != app.PaperClass {
+			t.Errorf("%s classified %v (ratio %.3f), catalogue says %v",
+				app.Name, p.Class, p.Ratio, app.PaperClass)
+		}
+	}
+}
+
+// TestExtendedSuiteAffinity: every memory-pattern app must probe to
+// scatter, every pure-compute app to compact.
+func TestExtendedSuiteAffinity(t *testing.T) {
+	pr := &Profiler{Cluster: hw.NewCluster(1, hw.HaswellSpec(), 0, 1)}
+	for _, app := range workload.ExtendedSuite() {
+		p, err := pr.Basic(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch app.Pattern {
+		case "memory":
+			if p.Affinity != workload.Scatter {
+				t.Errorf("%s (memory) probed %v, want scatter", app.Name, p.Affinity)
+			}
+		case "compute":
+			if p.Affinity != workload.Compact {
+				t.Errorf("%s (compute) probed %v, want compact", app.Name, p.Affinity)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package recommend implements the paper's configuration
+// recommendation module at the node level (§IV-B2): given a profiled
+// application and a node power budget, it selects the number of active
+// cores, the thread affinity, and the CPU/DRAM power split — using the
+// piecewise performance model to rank candidates instead of exhaustive
+// execution.
+package recommend
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/power"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+// MemHeadroomWatts is added above the predicted DRAM demand so small
+// model errors do not throttle bandwidth.
+const MemHeadroomWatts = 2.0
+
+// NodeConfig is the recommended node-level execution configuration.
+type NodeConfig struct {
+	Cores    int
+	Affinity workload.Affinity
+	// Budget is the CPU/DRAM split of the node budget.
+	Budget power.Budget
+	// Freq is the predicted sustainable frequency under Budget.CPU on a
+	// nominal node (GHz; may sit below the ladder when duty-cycled).
+	Freq float64
+	// PredIterTime is the model-predicted per-iteration runtime of the
+	// whole job on one such node.
+	PredIterTime float64
+	// CapOK is false when the configuration requires duty cycling on a
+	// nominal node (outside the acceptable power range).
+	CapOK bool
+}
+
+// candidateCores enumerates the concurrency candidates: even counts
+// (the paper floors to even) plus 1, bounded above by limit.
+func candidateCores(maxCores, limit int) []int {
+	if limit > maxCores {
+		limit = maxCores
+	}
+	out := []int{1}
+	for n := 2; n <= limit; n += 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// coreLimit bounds the concurrency search per class: parabolic
+// applications never run beyond the inflection point (the paper
+// disregards the n > NP segment); other classes may use every core.
+func coreLimit(p *profile.Profile) int {
+	if p.Class == workload.Parabolic && p.PredictedNP > 0 {
+		return p.PredictedNP
+	}
+	return p.NodeCores
+}
+
+// Recommend selects the node configuration for a budget of nodeBudget
+// watts (CPU+DRAM domains) on a node with variability coefficient eff.
+// It returns an error when even the smallest configuration cannot be
+// expressed (non-positive budget).
+func Recommend(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel.Predictor, nodeBudget, eff float64) (NodeConfig, error) {
+	return RecommendWithTolerance(spec, p, pd, nodeBudget, eff, 0)
+}
+
+// RecommendWithTolerance is the energy-aware variant: among candidate
+// configurations predicted within (1+tolerance) of the fastest, it
+// picks the one with the lowest predicted node power — trading a small
+// bounded slowdown for energy (the intro's power-efficiency goal).
+// tolerance 0 reduces to the pure-performance objective.
+func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel.Predictor, nodeBudget, eff, tolerance float64) (NodeConfig, error) {
+	if nodeBudget <= 0 {
+		return NodeConfig{}, fmt.Errorf("recommend: non-positive node budget %.1f W", nodeBudget)
+	}
+	if tolerance < 0 {
+		return NodeConfig{}, fmt.Errorf("recommend: negative slowdown tolerance %g", tolerance)
+	}
+	type scored struct {
+		cfg   NodeConfig
+		watts float64 // predicted node power at the operating point
+	}
+	var candidates []scored
+	best := NodeConfig{PredIterTime: math.Inf(1)}
+	for _, n := range candidateCores(p.NodeCores, coreLimit(p)) {
+		sockets := profile.SocketsUsed(spec, n, p.Affinity)
+		memBase := float64(sockets) * spec.MemBasePower
+		memMax := float64(sockets) * spec.MemMaxPower
+
+		// Candidate DRAM budgets around the application's demand.
+		demand := pd.MemDemandWatts(n) + MemHeadroomWatts
+		cands := []float64{demand, demand * 0.8, demand * 1.25, memBase + 1}
+		// The performance objective always spends the full CPU
+		// remainder; the energy objective may also sacrifice frequency
+		// (power is superlinear in f, so a bounded slowdown can buy a
+		// larger power reduction).
+		cpuFracs := []float64{1.0}
+		if tolerance > 0 {
+			cpuFracs = []float64{1.0, 0.85, 0.7, 0.55}
+		}
+		for _, mem := range cands {
+			mem = math.Max(memBase, math.Min(mem, memMax))
+			for _, frac := range cpuFracs {
+				cpu := (nodeBudget - mem) * frac
+				if cpu <= 0 {
+					continue
+				}
+				f, pDraw, ok := power.EffectiveFreq(spec, n, sockets, cpu, eff)
+				t := pd.Time(n, f, mem)
+				cfg := NodeConfig{
+					Cores: n, Affinity: p.Affinity,
+					Budget:       power.Budget{CPU: cpu, Mem: mem},
+					Freq:         f,
+					PredIterTime: t,
+					CapOK:        ok,
+				}
+				candidates = append(candidates, scored{cfg, pDraw + mem})
+				if t < best.PredIterTime-1e-12 ||
+					(math.Abs(t-best.PredIterTime) <= 1e-12 && n < best.Cores) {
+					best = cfg
+				}
+			}
+		}
+	}
+	if math.IsInf(best.PredIterTime, 1) {
+		return NodeConfig{}, fmt.Errorf("recommend: no feasible configuration under %.1f W", nodeBudget)
+	}
+	if tolerance > 0 {
+		// Energy objective: minimum predicted energy (power x time)
+		// within the slowdown window.
+		limit := best.PredIterTime * (1 + tolerance)
+		bestEnergy := math.Inf(1)
+		for _, c := range candidates {
+			if c.cfg.PredIterTime > limit {
+				continue
+			}
+			e := c.watts * c.cfg.PredIterTime
+			if e < bestEnergy-1e-12 {
+				bestEnergy = e
+				best = c.cfg
+			}
+		}
+	}
+	// A node budget above the acceptable range's upper bound is wasted
+	// (§III-B1); trim the CPU allocation to the power the configuration
+	// can draw at the highest frequency plus headroom for inter-node
+	// variability re-balancing, so surplus power stays in the cluster
+	// pool for other nodes or jobs.
+	sockets := profile.SocketsUsed(spec, best.Cores, best.Affinity)
+	maxUseful := power.CPUPower(spec, best.Cores, sockets, spec.FMax(), eff) * 1.08
+	if best.Budget.CPU > maxUseful {
+		best.Budget.CPU = maxUseful
+	}
+	return best, nil
+}
+
+// Unconstrained returns the configuration the recommender would pick
+// with ample power: the basis for the acceptable power range used at
+// the cluster level.
+func Unconstrained(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel.Predictor) (NodeConfig, error) {
+	// A budget large enough to never bind.
+	ample := float64(spec.Sockets)*spec.MemMaxPower +
+		power.CPUPower(spec, spec.Cores(), spec.Sockets, spec.FMax(), 2.0) + 10
+	return Recommend(spec, p, pd, ample, 1.0)
+}
+
+// EnvelopeFor computes the acceptable power range [Lo, Hi] (§III-B1)
+// for a chosen core count: DRAM demand power plus CPU power at the
+// lowest and highest frequencies.
+func EnvelopeFor(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel.Predictor, cores int, eff float64) power.NodeEnvelope {
+	sockets := profile.SocketsUsed(spec, cores, p.Affinity)
+	mem := math.Min(pd.MemDemandWatts(cores)+MemHeadroomWatts, float64(sockets)*spec.MemMaxPower)
+	return power.NodeEnvelope{
+		CPULo: power.CPUPower(spec, cores, sockets, spec.FMin(), eff),
+		CPUHi: power.CPUPower(spec, cores, sockets, spec.FMax(), eff),
+		MemLo: math.Max(float64(sockets)*spec.MemBasePower, mem*0.7),
+		MemHi: mem,
+	}
+}
+
+// PhasePlan builds per-phase concurrency overrides for multi-phase
+// applications (the paper's BT-MZ phase-wise concurrency, §V-B1):
+// phases whose synchronisation overhead dominates run at the profile's
+// inflection point while the remaining phases keep the configured
+// concurrency. It returns nil when no override helps.
+func PhasePlan(app *workload.Spec, p *profile.Profile, cores int) map[string]int {
+	if len(app.Phases) < 2 || p.PredictedNP <= 0 || p.PredictedNP >= cores {
+		return nil
+	}
+	overrides := make(map[string]int)
+	for _, ph := range app.Phases {
+		// A minority phase that contends or synchronises heavily
+		// scales poorly; throttle it to the inflection point while the
+		// bulk of the work keeps its concurrency.
+		poorlyScaling := ph.ContentionCoeff > 0 || ph.SyncCoeff >= 0.1
+		if poorlyScaling && ph.ParallelCycles < app.TotalParallelCycles()/2 {
+			overrides[ph.Name] = p.PredictedNP
+		}
+	}
+	if len(overrides) == 0 {
+		return nil
+	}
+	return overrides
+}

@@ -1,0 +1,257 @@
+package recommend
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/perfmodel"
+	"repro/internal/profile"
+	"repro/internal/workload"
+)
+
+func setup(t *testing.T, app *workload.Spec) (*hw.NodeSpec, *profile.Profile, *perfmodel.Predictor) {
+	t.Helper()
+	cl := hw.NewCluster(1, hw.HaswellSpec(), 0, 1)
+	m, err := perfmodel.TrainNP(cl, workload.TrainingSet(42, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := &profile.Profiler{Cluster: cl}
+	p, err := pr.Full(app, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := perfmodel.NewPredictor(cl.Spec(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl.Spec(), p, pd
+}
+
+func TestRecommendRejectsBadBudget(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	if _, err := Recommend(spec, p, pd, 0, 1.0); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if _, err := Recommend(spec, p, pd, -5, 1.0); err == nil {
+		t.Error("negative budget accepted")
+	}
+}
+
+func TestLinearGetsAllCoresAtHighBudget(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	cfg, err := Recommend(spec, p, pd, 320, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 24 {
+		t.Errorf("linear app at ample budget got %d cores, want 24", cfg.Cores)
+	}
+	if cfg.Freq != spec.FMax() {
+		t.Errorf("ample budget freq %v, want FMax", cfg.Freq)
+	}
+	if !cfg.CapOK {
+		t.Error("ample budget flagged as duty-cycled")
+	}
+}
+
+func TestParabolicNeverExceedsNP(t *testing.T) {
+	spec, p, pd := setup(t, workload.SPMZ())
+	for _, budget := range []float64{320, 200, 120, 80} {
+		cfg, err := Recommend(spec, p, pd, budget, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Cores > p.PredictedNP {
+			t.Errorf("budget %v: parabolic app got %d cores beyond NP %d",
+				budget, cfg.Cores, p.PredictedNP)
+		}
+	}
+}
+
+func TestBudgetRespected(t *testing.T) {
+	spec, p, pd := setup(t, workload.LUMZ())
+	for _, budget := range []float64{300, 200, 150, 100, 60} {
+		cfg, err := Recommend(spec, p, pd, budget, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tot := cfg.Budget.Total(); tot > budget+1e-9 {
+			t.Errorf("budget %v: split totals %v", budget, tot)
+		}
+		if cfg.Budget.CPU <= 0 || cfg.Budget.Mem <= 0 {
+			t.Errorf("budget %v: non-positive domain in %v", budget, cfg.Budget)
+		}
+	}
+}
+
+func TestTighterBudgetNotFaster(t *testing.T) {
+	spec, p, pd := setup(t, workload.LUMZ())
+	prev := 0.0
+	for _, budget := range []float64{320, 240, 180, 130, 90} {
+		cfg, err := Recommend(spec, p, pd, budget, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.PredIterTime < prev-1e-9 {
+			t.Errorf("tighter budget %v predicted faster run", budget)
+		}
+		prev = cfg.PredIterTime
+	}
+}
+
+func TestAffinityFollowsProfile(t *testing.T) {
+	spec, p, pd := setup(t, workload.Stream())
+	cfg, err := Recommend(spec, p, pd, 250, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Affinity != p.Affinity {
+		t.Errorf("recommended affinity %v differs from profile %v", cfg.Affinity, p.Affinity)
+	}
+	if p.Affinity != workload.Scatter {
+		t.Errorf("stream profile affinity %v, want scatter", p.Affinity)
+	}
+}
+
+func TestMemoryHungryGetsMemoryPower(t *testing.T) {
+	spec, p, pd := setup(t, workload.Stream())
+	cfg, err := Recommend(spec, p, pd, 250, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := float64(spec.Sockets) * spec.MemBasePower
+	if cfg.Budget.Mem < base+10 {
+		t.Errorf("stream granted only %.1f W of DRAM power", cfg.Budget.Mem)
+	}
+
+	_, p2, pd2 := setup(t, workload.EP())
+	cfg2, err := Recommend(spec, p2, pd2, 250, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Budget.Mem >= cfg.Budget.Mem {
+		t.Error("compute-bound app granted as much DRAM power as stream")
+	}
+}
+
+func TestLeakyNodeLowerFreq(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	nominal, err := Recommend(spec, p, pd, 180, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaky, err := Recommend(spec, p, pd, 180, 1.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaky.Freq > nominal.Freq {
+		t.Error("leaky node recommended a higher frequency than nominal")
+	}
+}
+
+func TestUnconstrained(t *testing.T) {
+	spec, p, pd := setup(t, workload.TeaLeaf())
+	cfg, err := Unconstrained(spec, p, pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.CapOK || cfg.Freq != spec.FMax() {
+		t.Error("unconstrained recommendation should run at FMax")
+	}
+	if p.Class == workload.Parabolic && cfg.Cores > p.PredictedNP {
+		t.Error("even unconstrained, parabolic apps stay at NP")
+	}
+}
+
+func TestEnvelopeFor(t *testing.T) {
+	spec, p, pd := setup(t, workload.AMG())
+	e := EnvelopeFor(spec, p, pd, 24, 1.0)
+	if e.Lo() >= e.Hi() {
+		t.Errorf("envelope Lo %v >= Hi %v", e.Lo(), e.Hi())
+	}
+	smaller := EnvelopeFor(spec, p, pd, 8, 1.0)
+	if smaller.Hi() >= e.Hi() {
+		t.Error("fewer cores should shrink the envelope")
+	}
+}
+
+func TestPhasePlan(t *testing.T) {
+	spec, p, pd := setup(t, workload.BTMZ())
+	_ = spec
+	_ = pd
+	if p.PredictedNP >= p.NodeCores {
+		t.Skip("BT-MZ predicted NP not below all cores; phase plan trivially nil")
+	}
+	overrides := PhasePlan(workload.BTMZ(), p, p.NodeCores)
+	if overrides == nil {
+		t.Fatal("BT-MZ should get a phase-wise plan")
+	}
+	if _, ok := overrides["exch_qbc"]; !ok {
+		t.Error("exch_qbc not throttled")
+	}
+	// Single-phase apps never get overrides.
+	if PhasePlan(workload.CoMD(), p, 24) != nil {
+		t.Error("single-phase app got overrides")
+	}
+}
+
+func TestCandidateCoresShape(t *testing.T) {
+	got := candidateCores(24, 24)
+	if got[0] != 1 {
+		t.Error("candidates must include 1")
+	}
+	for _, n := range got[1:] {
+		if n%2 != 0 {
+			t.Errorf("odd candidate %d (predictions are floored to even)", n)
+		}
+	}
+	limited := candidateCores(24, 10)
+	if limited[len(limited)-1] != 10 {
+		t.Errorf("limit not respected: %v", limited)
+	}
+}
+
+func TestEnergyAwareTolerance(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	perf, err := RecommendWithTolerance(spec, p, pd, 250, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := RecommendWithTolerance(spec, p, pd, 250, 1.0, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slowdown bounded by the tolerance.
+	if eco.PredIterTime > perf.PredIterTime*1.10+1e-9 {
+		t.Errorf("energy-aware pick exceeds the slowdown bound: %v vs %v",
+			eco.PredIterTime, perf.PredIterTime)
+	}
+	// Predicted energy (power x time) must not increase.
+	perfE := (perf.Budget.CPU + perf.Budget.Mem) * perf.PredIterTime
+	ecoE := (eco.Budget.CPU + eco.Budget.Mem) * eco.PredIterTime
+	if ecoE > perfE+1e-9 {
+		t.Errorf("energy-aware pick costs more energy: %v vs %v", ecoE, perfE)
+	}
+	if _, err := RecommendWithTolerance(spec, p, pd, 250, 1.0, -0.1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestEnergyAwareSacrificesFrequency(t *testing.T) {
+	// For a compute-bound app (energy ∝ f^1.2 over the DVFS range), the
+	// 10% slowdown window should buy a lower frequency.
+	spec, p, pd := setup(t, workload.EP())
+	perf, err := RecommendWithTolerance(spec, p, pd, 280, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, err := RecommendWithTolerance(spec, p, pd, 280, 1.0, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eco.Freq >= perf.Freq {
+		t.Errorf("energy objective kept frequency at %v (performance pick: %v)",
+			eco.Freq, perf.Freq)
+	}
+}

@@ -1,0 +1,27 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// ExampleRun executes a capped single-node run and checks the cap held.
+func ExampleRun() {
+	cluster := hw.NewCluster(1, hw.HaswellSpec(), 0, 1)
+	res, err := sim.Run(cluster, workload.EP(), sim.Config{
+		Nodes: 1, CoresPerNode: 24,
+		Capped: true, Budget: power.Budget{CPU: 150, Mem: 20},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cap respected: %v\n", res.Nodes[0].CPUPower <= 150)
+	fmt.Printf("ran below max frequency: %v\n", res.Nodes[0].Freq < cluster.Spec().FMax())
+	// Output:
+	// cap respected: true
+	// ran below max frequency: true
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// This file exposes the phase-level physics shared by the analytic
+// simulator (Run) and the discrete-event simulator (internal/des), so
+// both execute identical workload models and can be cross-validated.
+
+// SocketsUsedFor returns how many sockets host n threads under the
+// mapping policy: scatter spreads over all sockets, compact fills them
+// in order.
+func SocketsUsedFor(spec *hw.NodeSpec, n int, aff workload.Affinity) int {
+	return socketsUsed(spec, n, aff)
+}
+
+// RemoteFractionFor returns the fraction of memory traffic crossing the
+// NUMA interconnect for this application and mapping.
+func RemoteFractionFor(app *workload.Spec, sockets int, aff workload.Affinity) float64 {
+	return remoteFraction(app, sockets, aff)
+}
+
+// CoreBW returns the per-core achievable memory bandwidth (GB/s) at
+// frequency f for an application with bandwidth factor bwf.
+func CoreBW(spec *hw.NodeSpec, f, bwf float64) float64 {
+	return coreBW(spec, f, bwf)
+}
+
+// BandwidthCeiling returns the memory bandwidth available to a phase:
+// the minimum of core concurrency, socket channels, and (when capped)
+// the DRAM power cap.
+func BandwidthCeiling(spec *hw.NodeSpec, app *workload.Spec, n, sockets int, f float64, capped bool, memCap float64) float64 {
+	bwCeil := math.Min(float64(n)*coreBW(spec, f, app.BWFactor()), float64(sockets)*spec.SocketMemBW)
+	if capped {
+		bwCeil = math.Min(bwCeil, power.MemBandwidthCap(spec, sockets, memCap))
+	}
+	return bwCeil
+}
+
+// PhaseTime returns the duration in seconds of one execution of phase
+// ph with n threads at frequency f, plus the DRAM traffic in GB it
+// moves. shard is the fraction of the whole job this node executes
+// (1/N for strong scaling across N nodes); bwCeil is the admitted
+// memory bandwidth; rf the cross-NUMA traffic fraction.
+func PhaseTime(ph workload.Phase, n int, f, shard, bwCeil, rf, remotePenalty float64) (seconds, bytes float64) {
+	bytes = ph.MemoryBytes * shard * (1 + rf*remotePenalty)
+	tComp := ph.SerialCycles/f + (ph.ParallelCycles*shard)/(float64(n)*f)
+	if n > 1 {
+		tComp *= 1 + ph.SyncCoeff*math.Log2(float64(n))
+		if n%2 == 1 {
+			// Odd thread counts split tiles/domains unevenly; the paper
+			// observes odd concurrency underperforms its even neighbour.
+			tComp *= 1 + OddConcurrencyPenalty
+		}
+	}
+	// Contention scales with the shared work this node performs.
+	tCont := ph.ContentionCoeff * float64(n) * float64(n) * shard / f
+	tMem := 0.0
+	if bytes > 0 && bwCeil > 0 {
+		tMem = bytes / bwCeil
+	}
+	return tComp + tCont + math.Max(0, tMem-ph.Overlap*tComp), bytes
+}
+
+// CommTimeFor returns the per-iteration communication cost of an
+// N-node run on this cluster.
+func CommTimeFor(cl *hw.Cluster, app *workload.Spec, nodes int) float64 {
+	return commTime(cl, app, nodes)
+}

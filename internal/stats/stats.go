@@ -1,0 +1,104 @@
+// Package stats provides the small set of summary statistics the
+// experiment harness and the multi-job runtime report: mean, standard
+// deviation and percentiles over float64 samples.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (NaN for no samples).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation (NaN for no
+// samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks. It returns NaN for no samples
+// and errors for out-of-range p.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g outside [0,100]", p)
+	}
+	if len(xs) == 0 {
+		return math.NaN(), nil
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Median is the 50th percentile.
+func Median(xs []float64) float64 {
+	v, _ := Percentile(xs, 50)
+	return v
+}
+
+// Summary bundles the usual report row.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Median float64
+	P95    float64
+	Max    float64
+}
+
+// Summarise computes a Summary (zero value for no samples).
+func Summarise(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	p95, _ := Percentile(s, 95)
+	return Summary{
+		N:      len(s),
+		Mean:   Mean(s),
+		StdDev: StdDev(s),
+		Min:    s[0],
+		Median: Median(s),
+		P95:    p95,
+		Max:    s[len(s)-1],
+	}
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p95=%.3g max=%.3g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}

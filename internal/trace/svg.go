@@ -1,0 +1,194 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG chart rendering (stdlib only): line charts for the paper's
+// scalability/performance figures and bar charts for the comparison
+// figures. Deliberately minimal — enough to eyeball the reproduced
+// shapes against the paper's plots.
+
+const (
+	svgW, svgH         = 640, 400
+	svgMarginL         = 60
+	svgMarginR         = 140
+	svgMarginT         = 40
+	svgMarginB         = 50
+	svgPlotW           = svgW - svgMarginL - svgMarginR
+	svgPlotH           = svgH - svgMarginT - svgMarginB
+	svgAxisColor       = "#444"
+	svgGridColor       = "#ddd"
+	svgFont            = "font-family=\"sans-serif\""
+	svgBackgroundColor = "#fff"
+)
+
+// seriesPalette cycles for multi-series charts.
+var seriesPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// svgEscape sanitises text nodes.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceCeil rounds v up to a pleasant axis bound.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// SVGLineChart writes a multi-series line chart. x is shared across
+// series; series may be shorter than x (trailing points omitted).
+func SVGLineChart(w io.Writer, title, xLabel, yLabel string, x []float64, names []string, ys [][]float64) error {
+	if len(x) == 0 || len(ys) == 0 {
+		return fmt.Errorf("trace: empty chart %q", title)
+	}
+	xMin, xMax := x[0], x[0]
+	for _, v := range x {
+		xMin = math.Min(xMin, v)
+		xMax = math.Max(xMax, v)
+	}
+	yMax := 0.0
+	for _, s := range ys {
+		for _, v := range s {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				yMax = math.Max(yMax, v)
+			}
+		}
+	}
+	yMax = niceCeil(yMax)
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	px := func(v float64) float64 {
+		return svgMarginL + (v-xMin)/(xMax-xMin)*svgPlotW
+	}
+	py := func(v float64) float64 {
+		return svgMarginT + (1-v/yMax)*svgPlotH
+	}
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", svgW, svgH)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="%s"/>`+"\n", svgW, svgH, svgBackgroundColor)
+	fmt.Fprintf(w, `<text x="%d" y="22" %s font-size="15" font-weight="bold">%s</text>`+"\n",
+		svgMarginL, svgFont, svgEscape(title))
+
+	// Grid + axes labels.
+	for i := 0; i <= 4; i++ {
+		gy := svgMarginT + float64(i)/4*svgPlotH
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`+"\n",
+			svgMarginL, gy, svgMarginL+svgPlotW, gy, svgGridColor)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" %s font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			svgMarginL-6, gy+4, svgFont, yMax*(1-float64(i)/4))
+	}
+	for i := 0; i <= 4; i++ {
+		gx := svgMarginL + float64(i)/4*svgPlotW
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" %s font-size="11" text-anchor="middle">%.3g</text>`+"\n",
+			gx, svgMarginT+svgPlotH+18, svgFont, xMin+(xMax-xMin)*float64(i)/4)
+	}
+	fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s"/>`+"\n",
+		svgMarginL, svgMarginT, svgPlotW, svgPlotH, svgAxisColor)
+	fmt.Fprintf(w, `<text x="%d" y="%d" %s font-size="12" text-anchor="middle">%s</text>`+"\n",
+		svgMarginL+svgPlotW/2, svgH-12, svgFont, svgEscape(xLabel))
+	fmt.Fprintf(w, `<text x="16" y="%d" %s font-size="12" transform="rotate(-90 16 %d)" text-anchor="middle">%s</text>`+"\n",
+		svgMarginT+svgPlotH/2, svgFont, svgMarginT+svgPlotH/2, svgEscape(yLabel))
+
+	// Series.
+	for si, s := range ys {
+		color := seriesPalette[si%len(seriesPalette)]
+		var pts []string
+		for i, v := range s {
+			if i >= len(x) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x[i]), py(v)))
+		}
+		fmt.Fprintf(w, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend.
+		ly := svgMarginT + 16*si
+		fmt.Fprintf(w, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"/>`+"\n",
+			svgMarginL+svgPlotW+10, ly, svgMarginL+svgPlotW+30, ly, color)
+		name := ""
+		if si < len(names) {
+			name = names[si]
+		}
+		fmt.Fprintf(w, `<text x="%d" y="%d" %s font-size="11">%s</text>`+"\n",
+			svgMarginL+svgPlotW+35, ly+4, svgFont, svgEscape(name))
+	}
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}
+
+// SVGBarChart writes a grouped bar chart: one group per label, one bar
+// per series.
+func SVGBarChart(w io.Writer, title string, labels []string, names []string, values [][]float64) error {
+	if len(labels) == 0 || len(values) == 0 {
+		return fmt.Errorf("trace: empty bar chart %q", title)
+	}
+	yMax := 0.0
+	for _, s := range values {
+		for _, v := range s {
+			yMax = math.Max(yMax, v)
+		}
+	}
+	yMax = niceCeil(yMax)
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", svgW, svgH)
+	fmt.Fprintf(w, `<rect width="%d" height="%d" fill="%s"/>`+"\n", svgW, svgH, svgBackgroundColor)
+	fmt.Fprintf(w, `<text x="%d" y="22" %s font-size="15" font-weight="bold">%s</text>`+"\n",
+		svgMarginL, svgFont, svgEscape(title))
+	for i := 0; i <= 4; i++ {
+		gy := svgMarginT + float64(i)/4*svgPlotH
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s"/>`+"\n",
+			svgMarginL, gy, svgMarginL+svgPlotW, gy, svgGridColor)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" %s font-size="11" text-anchor="end">%.3g</text>`+"\n",
+			svgMarginL-6, gy+4, svgFont, yMax*(1-float64(i)/4))
+	}
+	fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="%s"/>`+"\n",
+		svgMarginL, svgMarginT, svgPlotW, svgPlotH, svgAxisColor)
+
+	groups := len(labels)
+	series := len(values)
+	groupW := float64(svgPlotW) / float64(groups)
+	barW := groupW * 0.8 / float64(series)
+	for gi, label := range labels {
+		gx := svgMarginL + float64(gi)*groupW
+		for si := 0; si < series; si++ {
+			if gi >= len(values[si]) {
+				continue
+			}
+			v := values[si][gi]
+			h := v / yMax * svgPlotH
+			bx := gx + groupW*0.1 + float64(si)*barW
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				bx, svgMarginT+svgPlotH-h, barW*0.92, h, seriesPalette[si%len(seriesPalette)])
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" %s font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			gx+groupW/2, svgMarginT+svgPlotH+14, svgFont, gx+groupW/2, svgMarginT+svgPlotH+14, svgEscape(label))
+	}
+	for si, name := range names {
+		ly := svgMarginT + 16*si
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="14" height="10" fill="%s"/>`+"\n",
+			svgMarginL+svgPlotW+10, ly-8, seriesPalette[si%len(seriesPalette)])
+		fmt.Fprintf(w, `<text x="%d" y="%d" %s font-size="11">%s</text>`+"\n",
+			svgMarginL+svgPlotW+30, ly, svgFont, svgEscape(name))
+	}
+	fmt.Fprintln(w, "</svg>")
+	return nil
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSVGLineChart(t *testing.T) {
+	var sb strings.Builder
+	err := SVGLineChart(&sb, "T", "x", "y",
+		[]float64{1, 2, 3}, []string{"a", "b"},
+		[][]float64{{1, 4, 9}, {2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(out, "<polyline") != 2 {
+		t.Errorf("want 2 polylines, got %d", strings.Count(out, "<polyline"))
+	}
+	for _, want := range []string{">T<", ">x<", ">y<", ">a<", ">b<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing text %q", want)
+		}
+	}
+}
+
+func TestSVGLineChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := SVGLineChart(&sb, "T", "x", "y", nil, nil, nil); err == nil {
+		t.Error("empty chart accepted")
+	}
+}
+
+func TestSVGLineChartEscapes(t *testing.T) {
+	var sb strings.Builder
+	err := SVGLineChart(&sb, `a<b>&"c"`, "x", "y",
+		[]float64{1, 2}, []string{"s"}, [][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, `a<b>`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escape sequence missing")
+	}
+}
+
+func TestSVGLineChartSkipsNaN(t *testing.T) {
+	var sb strings.Builder
+	nan := 0.0
+	nan = nan / nan // NaN without importing math
+	err := SVGLineChart(&sb, "T", "x", "y",
+		[]float64{1, 2, 3}, []string{"s"}, [][]float64{{1, nan, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN") {
+		t.Error("NaN leaked into SVG output")
+	}
+}
+
+func TestSVGBarChart(t *testing.T) {
+	var sb strings.Builder
+	err := SVGBarChart(&sb, "Bars", []string{"g1", "g2"}, []string{"m1", "m2"},
+		[][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// 2 groups x 2 series of bars + frame + background + 2 legend keys.
+	if strings.Count(out, "<rect") < 6 {
+		t.Errorf("too few rects: %d", strings.Count(out, "<rect"))
+	}
+	for _, want := range []string{">g1<", ">m2<"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestSVGBarChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := SVGBarChart(&sb, "T", nil, nil, nil); err == nil {
+		t.Error("empty bar chart accepted")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 1}, {0.7, 1}, {1, 1}, {1.2, 2}, {2.2, 2.5}, {3, 5}, {7, 10},
+		{12, 20}, {99, 100}, {101, 200},
+	}
+	for _, c := range cases {
+		if got := niceCeil(c.in); got != c.want {
+			t.Errorf("niceCeil(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSVGCoordinatesBounded(t *testing.T) {
+	var sb strings.Builder
+	err := SVGLineChart(&sb, "T", "x", "y",
+		[]float64{0, 100}, []string{"s"}, [][]float64{{0, 1e6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All plotted y coordinates must stay inside the canvas.
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if !strings.Contains(line, "polyline") {
+			continue
+		}
+		start := strings.Index(line, `points="`) + len(`points="`)
+		end := start + strings.Index(line[start:], `"`)
+		for _, pair := range strings.Fields(line[start:end]) {
+			parts := strings.Split(pair, ",")
+			if len(parts) != 2 {
+				t.Fatalf("bad point %q", pair)
+			}
+			x, err1 := strconv.ParseFloat(parts[0], 64)
+			y, err2 := strconv.ParseFloat(parts[1], 64)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("bad point %q", pair)
+			}
+			if x < 0 || x > 640 || y < 0 || y > 400 {
+				t.Errorf("point %q outside canvas", pair)
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+// Extended benchmark catalogue beyond the paper's Table II: analogues
+// of the HPCC, PolyBench and proxy-app workloads the paper's §V-B2
+// training methodology draws on ("we select benchmarks from NAS
+// Parallel Benchmarks, HPC Challenge Benchmark, UVA STREAM, PolyBench
+// and others"). Parameters follow the same modelling conventions as the
+// Table II suite; classes are validated by the extended-suite tests and
+// the ext-suite experiment.
+
+// HPL models the dense LU factorisation of HPC Challenge: heavily
+// compute-bound, near-ideal scaling.
+func HPL() *Spec {
+	return &Spec{
+		Name: "hpl", Pattern: "compute", PaperClass: Linear,
+		Iterations: 80, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.05, ParallelCycles: 85, MemoryBytes: 10,
+			SyncCoeff: 0.006, Overlap: 0.92,
+		}),
+		CommBytes: 0.4, SurfaceExp: 0.5, CommLatFactor: 2,
+		ICacheMPKI: 0.4, IPC: 2.8,
+	}
+}
+
+// DGEMM models the HPCC matrix-multiply kernel: pure compute, linear.
+func DGEMM() *Spec {
+	return &Spec{
+		Name: "dgemm", Pattern: "compute", PaperClass: Linear,
+		Iterations: 60, ProfileIterations: 4,
+		Phases: single(Phase{
+			ParallelCycles: 95, MemoryBytes: 5,
+			SyncCoeff: 0.004, Overlap: 0.95,
+		}),
+		CommBytes: 0.05, SurfaceExp: 1, CommLatFactor: 1,
+		ICacheMPKI: 0.2, IPC: 3.0,
+	}
+}
+
+// FFT models the HPCC 1-D FFT: compute/memory with all-to-all
+// communication; bandwidth saturation yields the logarithmic class.
+func FFT() *Spec {
+	return &Spec{
+		Name: "fft", Pattern: "compute/memory", PaperClass: Logarithmic,
+		Iterations: 120, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.15, ParallelCycles: 26, MemoryBytes: 52,
+			SyncCoeff: 0.04, Overlap: 0.5,
+		}),
+		CommBytes: 0.6, SurfaceExp: 1, CommLatFactor: 4,
+		CoreBWFactor: 1.2,
+		ICacheMPKI:   1.0, IPC: 1.5,
+	}
+}
+
+// RandomAccess models HPCC GUPS: latency-bound random updates whose
+// aggregate throughput saturates the memory system early.
+func RandomAccess() *Spec {
+	return &Spec{
+		Name: "randomaccess", Pattern: "memory", PaperClass: Logarithmic,
+		Iterations: 100, ProfileIterations: 4,
+		Phases: single(Phase{
+			ParallelCycles: 10, MemoryBytes: 70,
+			SyncCoeff: 0.01, Overlap: 0.2,
+		}),
+		CommBytes: 0.5, SurfaceExp: 1, CommLatFactor: 4,
+		CoreBWFactor: 1.6,
+		ICacheMPKI:   0.5, IPC: 0.6,
+	}
+}
+
+// PTRANS models the HPCC parallel matrix transpose: pure memory and
+// network movement, logarithmic.
+func PTRANS() *Spec {
+	return &Spec{
+		Name: "ptrans", Pattern: "memory", PaperClass: Logarithmic,
+		Iterations: 90, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.1, ParallelCycles: 12, MemoryBytes: 64,
+			SyncCoeff: 0.02, Overlap: 0.3,
+		}),
+		CommBytes: 0.8, SurfaceExp: 1, CommLatFactor: 3,
+		CoreBWFactor: 1.4,
+		ICacheMPKI:   0.6, IPC: 0.9,
+	}
+}
+
+// Jacobi2D models the PolyBench 2-D stencil: bandwidth-bound sweeps,
+// logarithmic.
+func Jacobi2D() *Spec {
+	return &Spec{
+		Name: "jacobi-2d", Pattern: "compute/memory", PaperClass: Logarithmic,
+		Iterations: 150, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.1, ParallelCycles: 20, MemoryBytes: 48,
+			SyncCoeff: 0.03, Overlap: 0.45,
+		}),
+		CommBytes: 0.2, SurfaceExp: 0.5, CommLatFactor: 2,
+		CoreBWFactor: 1.3,
+		ICacheMPKI:   0.8, IPC: 1.3,
+	}
+}
+
+// Gemver models the PolyBench BLAS-2 composite: memory bound with very
+// early bandwidth saturation.
+func Gemver() *Spec {
+	return &Spec{
+		Name: "gemver", Pattern: "memory", PaperClass: Logarithmic,
+		Iterations: 110, ProfileIterations: 4,
+		Phases: single(Phase{
+			ParallelCycles: 9, MemoryBytes: 66,
+			SyncCoeff: 0.012, Overlap: 0.2,
+		}),
+		CommBytes: 0.1, SurfaceExp: 1, CommLatFactor: 1,
+		CoreBWFactor: 1.7,
+		ICacheMPKI:   0.4, IPC: 0.8,
+	}
+}
+
+// Covariance models the PolyBench covariance kernel: compute-heavy with
+// a modest working set, linear.
+func Covariance() *Spec {
+	return &Spec{
+		Name: "covariance", Pattern: "compute", PaperClass: Linear,
+		Iterations: 70, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.08, ParallelCycles: 56, MemoryBytes: 14,
+			SyncCoeff: 0.01, Overlap: 0.85,
+		}),
+		CommBytes: 0.1, SurfaceExp: 1, CommLatFactor: 1,
+		ICacheMPKI: 0.6, IPC: 2.1,
+	}
+}
+
+// LULESH models the shock-hydrodynamics proxy app: mixed compute and
+// memory with region-level contention, parabolic.
+func LULESH() *Spec {
+	return &Spec{
+		Name: "lulesh", Pattern: "compute/memory", PaperClass: Parabolic,
+		Iterations: 140, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.3, ParallelCycles: 28, MemoryBytes: 36,
+			SyncCoeff: 0.08, ContentionCoeff: 0.008, Overlap: 0.55,
+		}),
+		CommBytes: 0.3, SurfaceExp: 2.0 / 3.0, CommLatFactor: 3,
+		SharedData: true, RemoteFrac: 0.3,
+		ICacheMPKI: 1.7, IPC: 1.3,
+	}
+}
+
+// Kripke models the deterministic transport proxy: sweep-dominated
+// compute, linear.
+func Kripke() *Spec {
+	return &Spec{
+		Name: "kripke", Pattern: "compute", PaperClass: Linear,
+		Iterations: 90, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.1, ParallelCycles: 66, MemoryBytes: 18,
+			SyncCoeff: 0.012, Overlap: 0.85,
+		}),
+		CommBytes: 0.25, SurfaceExp: 2.0 / 3.0, CommLatFactor: 2,
+		ICacheMPKI: 1.0, IPC: 1.8,
+	}
+}
+
+// HPCG models the conjugate-gradient benchmark: sparse memory-bound
+// SpMV, logarithmic.
+func HPCG() *Spec {
+	return &Spec{
+		Name: "hpcg", Pattern: "memory", PaperClass: Logarithmic,
+		Iterations: 130, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.12, ParallelCycles: 16, MemoryBytes: 58,
+			SyncCoeff: 0.05, Overlap: 0.35,
+		}),
+		CommBytes: 0.3, SurfaceExp: 2.0 / 3.0, CommLatFactor: 4,
+		CoreBWFactor: 1.25,
+		ICacheMPKI:   1.2, IPC: 0.9,
+	}
+}
+
+// XSBench models the Monte-Carlo cross-section lookup proxy: random
+// table lookups with atomic tallies, parabolic at high thread counts.
+func XSBench() *Spec {
+	return &Spec{
+		Name: "xsbench", Pattern: "compute/memory", PaperClass: Parabolic,
+		Iterations: 100, ProfileIterations: 4,
+		Phases: single(Phase{
+			SerialCycles: 0.15, ParallelCycles: 24, MemoryBytes: 30,
+			SyncCoeff: 0.07, ContentionCoeff: 0.01, Overlap: 0.5,
+		}),
+		CommBytes: 0.05, SurfaceExp: 1, CommLatFactor: 1,
+		SharedData: true, RemoteFrac: 0.35,
+		ICacheMPKI: 1.4, IPC: 1.1,
+	}
+}
+
+// ExtendedSuite returns the additional catalogue beyond Table II.
+func ExtendedSuite() []*Spec {
+	return []*Spec{
+		HPL(), DGEMM(), FFT(), RandomAccess(), PTRANS(), Jacobi2D(),
+		Gemver(), Covariance(), LULESH(), Kripke(), HPCG(), XSBench(),
+	}
+}

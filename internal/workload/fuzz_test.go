@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadSpecs: arbitrary file contents must never panic the loader —
+// it either returns specs that validate or an error.
+func FuzzLoadSpecs(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"Name":"x","Iterations":1,"Phases":[{"ParallelCycles":1}]}]`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`[null]`))
+	f.Add([]byte(`[{"Name":"y","Iterations":5,"Phases":[{"ParallelCycles":2,"Overlap":2}]}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		specs, err := LoadSpecs(path)
+		if err != nil {
+			return
+		}
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("LoadSpecs returned an invalid spec: %v", err)
+			}
+		}
+	})
+}
