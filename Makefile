@@ -1,0 +1,28 @@
+# Build / verification tiers for the CLIP reproduction.
+#
+#   make build   — compile everything
+#   make test    — tier-1: the full test suite
+#   make check   — tier-2: build + vet + race-enabled tests
+#   make bench   — hot-path benchmarks + suite wall time -> BENCH_results.json
+#   make suite   — regenerate every paper artifact (parallel runner)
+
+GO ?= go
+
+.PHONY: build test check bench suite
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	./scripts/bench.sh
+
+suite: build
+	$(GO) run ./cmd/clipbench -exp all

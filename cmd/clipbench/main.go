@@ -6,6 +6,11 @@
 //	clipbench -list
 //	clipbench -exp fig8
 //	clipbench -exp all
+//	clipbench -exp all -parallel 4
+//
+// Experiments run concurrently from a bounded worker pool (-parallel,
+// default GOMAXPROCS) but their reports are flushed in order, so the
+// output is byte-identical to a serial run (-parallel 1).
 package main
 
 import (
@@ -21,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
+	parallel := flag.Int("parallel", 0, "worker count for the suite and inner sweeps (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +37,7 @@ func main() {
 	}
 
 	ctx := bench.NewContext()
+	ctx.Workers = *parallel
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "clipbench:", err)
@@ -44,18 +51,19 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*exp, ",")
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
 	}
+	// Resolve everything up front so a typo fails before any work runs.
 	for _, id := range ids {
-		e, ok := bench.ByID(strings.TrimSpace(id))
-		if !ok {
+		if _, ok := bench.ByID(id); !ok {
 			fmt.Fprintf(os.Stderr, "clipbench: unknown experiment %q (use -list)\n", id)
 			os.Exit(2)
 		}
-		if err := e.Run(ctx, os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "clipbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	}
+	if err := bench.RunSuite(ctx, os.Stdout, ids); err != nil {
+		fmt.Fprintf(os.Stderr, "clipbench: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -115,6 +115,18 @@ func TestClipbenchSVG(t *testing.T) {
 	}
 }
 
+// TestClipbenchParallelDeterministic pins the -parallel contract at the
+// CLI surface: a serial run and a 4-worker run of the same experiments
+// emit identical bytes.
+func TestClipbenchParallelDeterministic(t *testing.T) {
+	const exps = "fig8,optimal,multijob,weak-scaling,ext-suite"
+	serial := run(t, "clipbench", "-exp", exps, "-parallel", "1")
+	par := run(t, "clipbench", "-exp", exps, "-parallel", "4")
+	if serial != par {
+		t.Errorf("-parallel 4 output differs from -parallel 1 (%d vs %d bytes)", len(serial), len(par))
+	}
+}
+
 func TestClipbenchUnknownExperiment(t *testing.T) {
 	cmd := exec.Command(filepath.Join(binDir, "clipbench"), "-exp", "nope")
 	if out, err := cmd.CombinedOutput(); err == nil {

@@ -16,6 +16,15 @@
 // (internal/baseline) and an experiment harness that regenerates every
 // table and figure (internal/bench).
 //
+// The stack is safe for concurrent use: a single core.CLIP may be
+// shared across goroutines — profiling and scheduling results are
+// memoized under a read-write lock with singleflight deduplication of
+// concurrent misses, and Schedule returns a deep clone of the cached
+// decision so callers may mutate the returned plan. The bench harness
+// exploits this to run experiments and their inner sweeps from a
+// bounded worker pool (clipbench -parallel) while emitting
+// byte-identical reports to a serial run.
+//
 // See README.md for a tour, DESIGN.md for the system inventory and
 // substitution rationale, and EXPERIMENTS.md for paper-vs-measured
 // results.

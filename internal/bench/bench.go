@@ -6,10 +6,12 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -24,14 +26,64 @@ import (
 // Context carries shared state across experiments: the testbed model
 // and a lazily constructed CLIP instance (training the NP regression
 // once, like the paper's offline training).
+//
+// A Context is safe for concurrent use: the suite runner executes
+// experiments from a worker pool and the heavyweight experiments fan
+// their inner (application × bound) sweeps out over the same worker
+// budget. Every experiment is deterministic, so concurrent and serial
+// runs produce byte-identical reports.
 type Context struct {
 	Cluster *hw.Cluster
 	// FigureDir, when non-empty, receives SVG renditions of the
 	// figure-shaped experiment outputs (clipbench -svg).
 	FigureDir string
+	// Workers bounds the concurrency of the suite runner and of the
+	// heavyweight experiments' inner sweeps; 0 or negative means
+	// GOMAXPROCS, 1 forces fully serial execution.
+	Workers int
 
 	mu   sync.Mutex
 	clip *core.CLIP
+}
+
+// workers resolves the effective worker count.
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEach runs fn(i) for i in [0, n) from a bounded worker pool and
+// waits for all of them. With one worker (or n == 1) it degenerates to
+// a plain loop, keeping serial runs strictly serial.
+func (c *Context) forEach(n int, fn func(i int)) {
+	w := c.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // SaveLine writes an SVG line chart into FigureDir (no-op when unset).
@@ -93,6 +145,9 @@ type Experiment struct {
 var (
 	regMu    sync.Mutex
 	registry []Experiment
+
+	indexOnce sync.Once
+	index     map[string]Experiment
 )
 
 // register adds an experiment (called from init functions of the
@@ -114,14 +169,53 @@ func All() []Experiment {
 	return out
 }
 
-// ByID finds an experiment.
+// ByID finds an experiment via an index built once (the registry is
+// immutable after package init), not a copy-and-sort of the registry
+// per lookup.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
+	indexOnce.Do(func() {
+		index = make(map[string]Experiment, len(registry))
+		for _, e := range All() {
+			index[e.ID] = e
+		}
+	})
+	e, ok := index[id]
+	return e, ok
+}
+
+// RunSuite executes the experiments named by ids in order, writing
+// each report (separated by a blank line, as cmd/clipbench always has)
+// to w. Experiments run concurrently from the context's worker pool
+// into per-experiment buffers; reports are flushed in input order, so
+// the bytes written are identical to a serial run. On the first
+// experiment error the output produced by the preceding experiments is
+// still flushed and the error is returned.
+func RunSuite(ctx *Context, w io.Writer, ids []string) error {
+	exps := make([]Experiment, len(ids))
+	for i, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			return fmt.Errorf("bench: unknown experiment %q", id)
+		}
+		exps[i] = e
+	}
+	bufs := make([]bytes.Buffer, len(exps))
+	errs := make([]error, len(exps))
+	ctx.forEach(len(exps), func(i int) {
+		errs[i] = exps[i].Run(ctx, &bufs[i])
+	})
+	for i := range exps {
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", exps[i].ID, errs[i])
+		}
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
 		}
 	}
-	return Experiment{}, false
+	return nil
 }
 
 // header prints a standard experiment banner.

@@ -22,15 +22,22 @@ func runExtSuite(ctx *Context, w io.Writer) error {
 	e, _ := ByID("ext-suite")
 	header(w, e)
 
-	// Classification of the extended catalogue.
+	// Classification of the extended catalogue: profiles are gathered
+	// from the worker pool, the table replays them in catalogue order.
+	apps := workload.ExtendedSuite()
 	pr := &profile.Profiler{Cluster: ctx.Cluster}
+	profs := make([]*profile.Profile, len(apps))
+	profErrs := make([]error, len(apps))
+	ctx.forEach(len(apps), func(i int) {
+		profs[i], profErrs[i] = pr.Basic(apps[i])
+	})
 	ct := trace.NewTable("application", "pattern", "ratio", "class", "expected", "match")
 	matches := 0
-	for _, app := range workload.ExtendedSuite() {
-		p, err := pr.Basic(app)
-		if err != nil {
-			return err
+	for i, app := range apps {
+		if profErrs[i] != nil {
+			return profErrs[i]
 		}
+		p := profs[i]
 		m := "yes"
 		if p.Class == app.PaperClass {
 			matches++
@@ -50,26 +57,28 @@ func runExtSuite(ctx *Context, w io.Writer) error {
 		return err
 	}
 	const bound = 900.0
+	cells := make([]comparisonCell, len(apps))
+	ctx.forEach(len(cells), func(i int) {
+		cells[i] = compareCell(ctx, methods, apps[i], bound)
+	})
 	fmt.Fprintf(w, "-- method comparison at %.0f W --\n", bound)
 	mt := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
 	sums := make([]float64, len(methods))
-	for _, app := range workload.ExtendedSuite() {
-		ref, err := unboundedReference(ctx, app)
-		if err != nil {
-			return err
+	for ai, app := range apps {
+		cell := cells[ai]
+		if cell.refErr != nil {
+			return cell.refErr
 		}
-		cells := []interface{}{app.Name}
-		for mi, m := range methods {
-			perf, err := runMethod(ctx, m, app, bound)
-			if err != nil {
-				cells = append(cells, "err")
+		rowCells := []interface{}{app.Name}
+		for mi := range methods {
+			if cell.errs[mi] {
+				rowCells = append(rowCells, "err")
 				continue
 			}
-			rel := perf / ref
-			cells = append(cells, rel)
-			sums[mi] += rel
+			rowCells = append(rowCells, cell.rels[mi])
+			sums[mi] += cell.rels[mi]
 		}
-		mt.Add(cells...)
+		mt.Add(rowCells...)
 	}
 	avg := []interface{}{"AVERAGE"}
 	for _, s := range sums {

@@ -64,41 +64,77 @@ func unboundedReference(ctx *Context, app *workload.Spec) (float64, error) {
 	return res.Perf(), nil
 }
 
+// comparisonCell is the precomputed result of one (budget ×
+// application) sweep cell: the unbounded reference plus every method's
+// relative performance.
+type comparisonCell struct {
+	ref    float64
+	refErr error
+	rels   []float64
+	errs   []bool
+}
+
+// compareCell evaluates all methods on one application at one budget.
+func compareCell(ctx *Context, methods []plan.Method, app *workload.Spec, bound float64) comparisonCell {
+	c := comparisonCell{rels: make([]float64, len(methods)), errs: make([]bool, len(methods))}
+	c.ref, c.refErr = unboundedReference(ctx, app)
+	if c.refErr != nil {
+		return c
+	}
+	for mi, m := range methods {
+		rel, err := runMethod(ctx, m, app, bound)
+		if err != nil {
+			c.errs[mi] = true
+			continue
+		}
+		rel /= c.ref
+		c.rels[mi] = rel
+	}
+	return c
+}
+
 // runComparison renders one sub-figure per budget: relative performance
-// of every method on every suite application.
+// of every method on every suite application. The (budget ×
+// application) sweep cells are evaluated from the context's worker
+// pool; rendering replays them in order, so the report is byte-for-byte
+// what a serial sweep produces.
 func runComparison(ctx *Context, w io.Writer, budgets []float64) error {
 	methods, err := comparisonMethods(ctx)
 	if err != nil {
 		return err
 	}
-	for _, bound := range budgets {
+	apps := suiteApps()
+	cells := make([]comparisonCell, len(budgets)*len(apps))
+	ctx.forEach(len(cells), func(i int) {
+		cells[i] = compareCell(ctx, methods, apps[i%len(apps)], budgets[i/len(apps)])
+	})
+	for bi, bound := range budgets {
 		fmt.Fprintf(w, "-- cluster power budget %.0f W --\n", bound)
 		t := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
 		sums := make([]float64, len(methods))
 		counts := make([]int, len(methods))
 		var figLabels []string
 		figVals := make([][]float64, len(methods))
-		for _, app := range suiteApps() {
-			ref, err := unboundedReference(ctx, app)
-			if err != nil {
-				return err
+		for ai, app := range apps {
+			cell := cells[bi*len(apps)+ai]
+			if cell.refErr != nil {
+				return cell.refErr
 			}
-			cells := []interface{}{app.Name}
+			rowCells := []interface{}{app.Name}
 			figLabels = append(figLabels, app.Name)
-			for mi, m := range methods {
-				rel, err := runMethod(ctx, m, app, bound)
-				if err != nil {
-					cells = append(cells, "err")
+			for mi := range methods {
+				if cell.errs[mi] {
+					rowCells = append(rowCells, "err")
 					figVals[mi] = append(figVals[mi], 0)
 					continue
 				}
-				rel /= ref
-				cells = append(cells, rel)
+				rel := cell.rels[mi]
+				rowCells = append(rowCells, rel)
 				figVals[mi] = append(figVals[mi], rel)
 				sums[mi] += rel
 				counts[mi]++
 			}
-			t.Add(cells...)
+			t.Add(rowCells...)
 		}
 		if err := ctx.SaveBars(fmt.Sprintf("fig89-%.0fW", bound),
 			fmt.Sprintf("Method comparison at %.0f W (rel. to unbounded All-In)", bound),

@@ -63,17 +63,31 @@ func runMultiJob(ctx *Context, w io.Writer) error {
 		{"aggr+realloc", jobsched.Config{Bound: bound, Policy: jobsched.AggressiveBackfill, Reallocate: true}},
 	}
 
+	// The four scheduler configurations plus the per-job detail re-run
+	// are five independent simulations; run them all from the worker
+	// pool, then render in the serial order.
+	runs := make([]*jobsched.Stats, len(configs)+1)
+	runErrs := make([]error, len(configs)+1)
+	ctx.forEach(len(runs), func(i int) {
+		cfg := configs[3].cfg
+		if i < len(configs) {
+			cfg = configs[i].cfg
+		}
+		s, err := jobsched.New(ctx.Cluster, clip, cfg)
+		if err != nil {
+			runErrs[i] = err
+			return
+		}
+		runs[i], runErrs[i] = s.Run(multiJobWorkload())
+	})
+
 	t := trace.NewTable("scheduler", "makespan_s", "avg_wait_s", "avg_turnaround_s", "power_use_%", "boosted_jobs")
 	var base float64
 	for i, c := range configs {
-		s, err := jobsched.New(ctx.Cluster, clip, c.cfg)
-		if err != nil {
-			return err
+		if runErrs[i] != nil {
+			return runErrs[i]
 		}
-		st, err := s.Run(multiJobWorkload())
-		if err != nil {
-			return err
-		}
+		st := runs[i]
 		boosted := 0
 		for _, j := range st.Jobs {
 			if j.Boosted {
@@ -92,14 +106,10 @@ func runMultiJob(ctx *Context, w io.Writer) error {
 	t.Render(w)
 
 	// Per-job detail for the richest configuration.
-	s, err := jobsched.New(ctx.Cluster, clip, configs[3].cfg)
-	if err != nil {
-		return err
+	if runErrs[len(configs)] != nil {
+		return runErrs[len(configs)]
 	}
-	st, err := s.Run(multiJobWorkload())
-	if err != nil {
-		return err
-	}
+	st := runs[len(configs)]
 	fmt.Fprintln(w)
 	jt := trace.NewTable("job", "arrival", "start", "finish", "nodes", "cores", "perNode_W", "boosted")
 	var waits, turns []float64

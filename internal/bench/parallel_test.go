@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// allIDs returns every registered experiment ID in suite order.
+func allIDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// TestRunSuiteDeterministic is the core guarantee of the parallel
+// runner: a serial run and a 4-worker run of the full registry produce
+// byte-identical reports.
+func TestRunSuiteDeterministic(t *testing.T) {
+	ids := allIDs()
+
+	serialCtx := NewContext()
+	serialCtx.Workers = 1
+	var serial bytes.Buffer
+	if err := RunSuite(serialCtx, &serial, ids); err != nil {
+		t.Fatal(err)
+	}
+
+	parCtx := NewContext()
+	parCtx.Workers = 4
+	var par bytes.Buffer
+	if err := RunSuite(parCtx, &par, ids); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		sl, pl := strings.Split(serial.String(), "\n"), strings.Split(par.String(), "\n")
+		for i := 0; i < len(sl) && i < len(pl); i++ {
+			if sl[i] != pl[i] {
+				t.Fatalf("serial and parallel output diverge at line %d:\nserial:   %q\nparallel: %q", i+1, sl[i], pl[i])
+			}
+		}
+		t.Fatalf("serial and parallel output lengths differ: %d vs %d bytes", serial.Len(), par.Len())
+	}
+}
+
+// TestRunSuiteUnknownID checks that a bad ID fails before any
+// experiment runs.
+func TestRunSuiteUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	err := RunSuite(sharedCtx, &buf, []string{"fig1", "nope"})
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if !strings.Contains(err.Error(), `unknown experiment "nope"`) {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("output written despite resolution failure (%d bytes)", buf.Len())
+	}
+}
+
+// TestForEachCoversAllIndices checks the worker pool visits every index
+// exactly once at several worker counts, including the serial
+// degeneration.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		ctx := &Context{Workers: workers}
+		const n = 57
+		hits := make([]int32, n)
+		ctx.forEach(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

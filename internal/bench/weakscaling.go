@@ -36,25 +36,46 @@ func runWeakScaling(ctx *Context, w io.Writer) error {
 		workload.SPMZ().WeakScaled(),
 	}
 
+	// Each (application × method) run is independent; evaluate them from
+	// the worker pool and replay in order.
+	type wsCell struct {
+		tp      float64
+		planErr bool
+		execErr error
+	}
+	cells := make([]wsCell, len(apps)*len(methods))
+	ctx.forEach(len(cells), func(i int) {
+		app, m := apps[i/len(methods)], methods[i%len(methods)]
+		c := &cells[i]
+		p, err := m.Plan(ctx.Cluster, app, bound)
+		if err != nil {
+			c.planErr = true
+			return
+		}
+		res, err := plan.Execute(ctx.Cluster, app, p)
+		if err != nil {
+			c.execErr = err
+			return
+		}
+		c.tp = res.Throughput() * 1e3
+	})
 	t := trace.NewTable(append([]string{"application"}, methodNames(methods)...)...)
 	sums := make([]float64, len(methods))
-	for _, app := range apps {
-		cells := []interface{}{app.Name}
-		for mi, m := range methods {
-			p, err := m.Plan(ctx.Cluster, app, bound)
-			if err != nil {
-				cells = append(cells, "err")
+	for ai, app := range apps {
+		rowCells := []interface{}{app.Name}
+		for mi := range methods {
+			cell := cells[ai*len(methods)+mi]
+			if cell.planErr {
+				rowCells = append(rowCells, "err")
 				continue
 			}
-			res, err := plan.Execute(ctx.Cluster, app, p)
-			if err != nil {
-				return err
+			if cell.execErr != nil {
+				return cell.execErr
 			}
-			tp := res.Throughput() * 1e3
-			cells = append(cells, tp)
-			sums[mi] += tp
+			rowCells = append(rowCells, cell.tp)
+			sums[mi] += cell.tp
 		}
-		t.Add(cells...)
+		t.Add(rowCells...)
 	}
 	avg := []interface{}{"SUM"}
 	for _, s := range sums {

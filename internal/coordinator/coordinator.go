@@ -49,13 +49,27 @@ type Decision struct {
 	Coordinated bool
 }
 
+// Clone returns a deep copy of the decision, so cached decisions can
+// be handed to callers that may annotate the plan.
+func (d *Decision) Clone() *Decision {
+	cp := *d
+	cp.Plan = d.Plan.Clone()
+	return &cp
+}
+
 // Coordinator computes cluster-level power allocation decisions.
 type Coordinator struct {
 	Cluster *hw.Cluster
-	// Threshold overrides VariabilityThreshold when non-zero; a
-	// negative value disables inter-node coordination entirely
-	// (ablation support).
+	// Threshold overrides VariabilityThreshold (ablation support). A
+	// non-zero value always takes effect; an explicit zero — "coordinate
+	// whenever any variability at all is present" — additionally
+	// requires ThresholdSet, because the zero value of this struct must
+	// keep meaning "use the paper's default". A negative value disables
+	// inter-node coordination entirely.
 	Threshold float64
+	// ThresholdSet marks Threshold as explicitly configured so that an
+	// override of exactly 0 is distinguishable from "unset".
+	ThresholdSet bool
 	// EnergyTolerance, when positive, switches node-level selection to
 	// the energy-aware objective: minimum predicted energy within this
 	// relative slowdown of the fastest configuration.
@@ -64,7 +78,7 @@ type Coordinator struct {
 
 // threshold returns the effective variability threshold.
 func (c *Coordinator) threshold() float64 {
-	if c.Threshold != 0 {
+	if c.ThresholdSet || c.Threshold != 0 {
 		return c.Threshold
 	}
 	return VariabilityThreshold
@@ -171,23 +185,25 @@ func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound flo
 	spec := c.Cluster.Spec()
 	sockets := profile.SocketsUsed(spec, cfg.Cores, cfg.Affinity)
 	totalCPU := cfg.Budget.CPU * float64(n)
-	// Highest common ladder frequency whose total power fits the pool.
-	fStar := spec.FMin()
-	for i := len(spec.FreqLevels) - 1; i >= 0; i-- {
-		f := spec.FreqLevels[i]
+	// Highest common ladder frequency whose total power fits the pool,
+	// read off the precomputed nominal ladder with each node's
+	// variability applied analytically.
+	ladder := spec.LadderPowers(cfg.Cores, sockets)
+	fIdx := 0
+	for i := len(ladder) - 1; i >= 0; i-- {
 		var sum float64
 		for _, id := range ids {
-			sum += power.CPUPower(spec, cfg.Cores, sockets, f, c.Cluster.Nodes[id].PowerEff)
+			sum += ladder[i] * c.Cluster.Nodes[id].PowerEff
 		}
 		if sum <= totalCPU+1e-9 {
-			fStar = f
+			fIdx = i
 			break
 		}
 	}
 	out := make([]power.Budget, n)
 	var spent float64
 	for i, id := range ids {
-		cpu := power.CPUPower(spec, cfg.Cores, sockets, fStar, c.Cluster.Nodes[id].PowerEff)
+		cpu := ladder[fIdx] * c.Cluster.Nodes[id].PowerEff
 		out[i] = power.Budget{CPU: cpu, Mem: cfg.Budget.Mem}
 		spent += cpu
 	}

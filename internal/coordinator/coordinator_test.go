@@ -255,3 +255,45 @@ func TestNotesPopulated(t *testing.T) {
 		t.Error("predicted time missing")
 	}
 }
+
+// TestExplicitZeroThreshold pins the ThresholdSet semantics: a
+// zero-value Coordinator uses the paper's default, while an explicit
+// Threshold of 0 (ThresholdSet) coordinates on any variability at all.
+func TestExplicitZeroThreshold(t *testing.T) {
+	def := &Coordinator{}
+	if got := def.threshold(); got != VariabilityThreshold {
+		t.Errorf("unset threshold = %g, want default %g", got, VariabilityThreshold)
+	}
+	zero := &Coordinator{ThresholdSet: true}
+	if got := zero.threshold(); got != 0 {
+		t.Errorf("explicit zero threshold = %g, want 0", got)
+	}
+	override := &Coordinator{Threshold: 0.10}
+	if got := override.threshold(); got != 0.10 {
+		t.Errorf("non-zero override = %g, want 0.10", got)
+	}
+
+	// On the mildly variable paper testbed (spread below the default
+	// threshold) the default skips coordination but an explicit zero
+	// threshold activates it.
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0.004, 7)
+	if cl.MaxVariability() <= 0 || cl.MaxVariability() > VariabilityThreshold {
+		t.Fatalf("test cluster spread %.4f outside (0, %g]", cl.MaxVariability(), VariabilityThreshold)
+	}
+	app := workload.AMG()
+	p, pd := setup(t, cl, app)
+	dDef, err := (&Coordinator{Cluster: cl}).Schedule(app, p, pd, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dDef.Coordinated {
+		t.Error("default threshold coordinated below the paper's trigger")
+	}
+	dZero, err := (&Coordinator{Cluster: cl, ThresholdSet: true}).Schedule(app, p, pd, 1100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dZero.Coordinated {
+		t.Error("explicit zero threshold did not coordinate")
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// TestConcurrentSchedule hammers one CLIP instance from many
+// goroutines across applications and bounds; run under -race this
+// asserts the cache layer is race-clean, and the decision comparison
+// asserts concurrency does not change results.
+func TestConcurrentSchedule(t *testing.T) {
+	clip, err := New(hw.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := []*workload.Spec{workload.SPMZ(), workload.LUMZ(), workload.CoMD(), workload.TeaLeaf()}
+	bounds := []float64{800, 1200, 1800}
+
+	// Serial reference decisions.
+	type key struct {
+		app   string
+		bound float64
+	}
+	want := make(map[key]string)
+	for _, app := range apps {
+		for _, b := range bounds {
+			d, err := clip.Schedule(app, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[key{app.Name, b}] = d.Plan.Notes
+		}
+	}
+
+	fresh, err := New(hw.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				app := apps[(g+i)%len(apps)]
+				b := bounds[(g*7+i)%len(bounds)]
+				d, err := fresh.Schedule(app, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if d.Plan.Notes != want[key{app.Name, b}] {
+					t.Errorf("concurrent decision for %s@%.0f diverged", app.Name, b)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleClonesCachedDecision verifies callers can mutate a
+// returned plan without corrupting the cache.
+func TestScheduleClonesCachedDecision(t *testing.T) {
+	clip, err := New(hw.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.SPMZ()
+	d1, err := clip.Schedule(app, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := d1.Clone()
+	// Vandalise everything reachable from the first decision.
+	d1.Plan.NodeIDs[0] = 99
+	d1.Plan.PerNode[0].CPU = -1
+	d1.Plan.Cores = 0
+	d1.Plan.Notes = "scribbled"
+	if d1.Plan.PhaseCores != nil {
+		for k := range d1.Plan.PhaseCores {
+			d1.Plan.PhaseCores[k] = -7
+		}
+	}
+	d2, err := clip.Schedule(app, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d2.Plan, orig.Plan) {
+		t.Errorf("cached decision corrupted by caller mutation:\ngot  %+v\nwant %+v", d2.Plan, orig.Plan)
+	}
+	if d2.Plan == d1.Plan {
+		t.Error("Schedule returned the same *Plan twice; cache must hand out clones")
+	}
+}
+
+// TestConcurrentProfileSharesWork checks that concurrent misses do not
+// produce distinct database entries (singleflight) and agree with the
+// serial result.
+func TestConcurrentProfileSharesWork(t *testing.T) {
+	clip, err := New(hw.Haswell())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := workload.AMG()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := clip.Profile(app); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := clip.DB().Len(); n != 1 {
+		t.Errorf("knowledge database holds %d entries, want 1", n)
+	}
+}

@@ -9,10 +9,18 @@
 //	cl := hw.Haswell()
 //	clip, _ := core.New(cl)
 //	res, _ := clip.Run(workload.SPMZ(), 800) // 800 W cluster bound
+//
+// A CLIP instance is safe for concurrent use. Profiles and scheduling
+// decisions are memoized: repeated Schedule calls for the same
+// (application, bound, options) return a cached decision, concurrent
+// misses are deduplicated singleflight-style so the underlying work
+// runs once, and Schedule hands out a deep clone so callers may mutate
+// the returned plan without corrupting the cache.
 package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"repro/internal/coordinator"
@@ -21,6 +29,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/profile"
 	"repro/internal/sim"
+	"repro/internal/singleflight"
 	"repro/internal/workload"
 )
 
@@ -40,16 +49,47 @@ type Options struct {
 	EnergyTolerance float64
 }
 
-// CLIP is the scheduler. It is safe for concurrent use.
+// CLIP is the scheduler. It is safe for concurrent use: profiles,
+// fitted predictors and full cluster-level decisions are cached behind
+// a read-write lock, and cache misses are computed under singleflight
+// so concurrent callers of the same application share one profiling or
+// scheduling pass instead of duplicating it or serialising on a single
+// big lock.
 type CLIP struct {
 	Cluster *hw.Cluster
 	NPModel *perfmodel.NPModel
 
-	mu    sync.Mutex
 	db    *profile.DB
-	preds map[string]*perfmodel.Predictor
 	coord *coordinator.Coordinator
 	prof  *profile.Profiler
+
+	mu        sync.RWMutex // guards preds and decisions
+	preds     map[string]*perfmodel.Predictor
+	decisions map[decisionKey]*coordinator.Decision
+
+	flight singleflight.Group
+}
+
+// decisionKey memoizes Schedule: one entry per application, bound and
+// coordinator configuration (the coordinator options are fixed per CLIP
+// instance, but keying on them keeps the cache correct if that ever
+// changes).
+type decisionKey struct {
+	app          string
+	bound        float64
+	threshold    float64
+	thresholdSet bool
+	tolerance    float64
+}
+
+// flightKey renders the key for singleflight (string-keyed). %x-style
+// float formatting is exact, so distinct keys never collide.
+func (k decisionKey) flightKey() string {
+	return "sched:" + k.app + "|" +
+		strconv.FormatFloat(k.bound, 'x', -1, 64) + "|" +
+		strconv.FormatFloat(k.threshold, 'x', -1, 64) + "|" +
+		strconv.FormatBool(k.thresholdSet) + "|" +
+		strconv.FormatFloat(k.tolerance, 'x', -1, 64)
 }
 
 var _ plan.Method = (*CLIP)(nil)
@@ -65,11 +105,12 @@ func New(cl *hw.Cluster, opts ...Options) (*CLIP, error) {
 		o = opts[0]
 	}
 	c := &CLIP{
-		Cluster: cl,
-		db:      o.DB,
-		preds:   make(map[string]*perfmodel.Predictor),
-		coord:   &coordinator.Coordinator{Cluster: cl, EnergyTolerance: o.EnergyTolerance},
-		prof:    &profile.Profiler{Cluster: cl},
+		Cluster:   cl,
+		db:        o.DB,
+		preds:     make(map[string]*perfmodel.Predictor),
+		decisions: make(map[decisionKey]*coordinator.Decision),
+		coord:     &coordinator.Coordinator{Cluster: cl, EnergyTolerance: o.EnergyTolerance},
+		prof:      &profile.Profiler{Cluster: cl},
 	}
 	if c.db == nil {
 		c.db = profile.NewDB()
@@ -98,43 +139,71 @@ func (c *CLIP) DB() *profile.DB { return c.db }
 
 // Profile returns the knowledge-database record for app, running smart
 // profiling on a cache miss (the paper's application execution module
-// checks the database first).
+// checks the database first). Concurrent misses for the same
+// application share one profiling pass.
 func (c *CLIP) Profile(app *workload.Spec) (*profile.Profile, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.profileLocked(app)
-}
-
-func (c *CLIP) profileLocked(app *workload.Spec) (*profile.Profile, error) {
 	if p, ok := c.db.Get(app.Name); ok {
 		return p, nil
 	}
-	p, err := c.prof.Full(app, c.NPModel)
+	v, err, _ := c.flight.Do("profile:"+app.Name, func() (interface{}, error) {
+		if p, ok := c.db.Get(app.Name); ok {
+			return p, nil
+		}
+		p, err := c.prof.Full(app, c.NPModel)
+		if err != nil {
+			return nil, fmt.Errorf("core: profile %s: %w", app.Name, err)
+		}
+		c.db.Put(p)
+		return p, nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("core: profile %s: %w", app.Name, err)
+		return nil, err
 	}
-	c.db.Put(p)
-	return p, nil
+	return v.(*profile.Profile), nil
 }
 
 // predictor returns (and caches) the piecewise performance predictor
-// for app.
+// for app, profiling on demand.
 func (c *CLIP) predictor(app *workload.Spec) (*profile.Profile, *perfmodel.Predictor, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, err := c.profileLocked(app)
+	c.mu.RLock()
+	pd, ok := c.preds[app.Name]
+	c.mu.RUnlock()
+	if ok {
+		p, err := c.Profile(app) // knowledge-database hit by construction
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, pd, nil
+	}
+	type pair struct {
+		p  *profile.Profile
+		pd *perfmodel.Predictor
+	}
+	v, err, _ := c.flight.Do("pred:"+app.Name, func() (interface{}, error) {
+		p, err := c.Profile(app)
+		if err != nil {
+			return nil, err
+		}
+		c.mu.RLock()
+		pd, ok := c.preds[app.Name]
+		c.mu.RUnlock()
+		if ok {
+			return pair{p, pd}, nil
+		}
+		pd, err = perfmodel.NewPredictor(c.Cluster.Spec(), p)
+		if err != nil {
+			return nil, fmt.Errorf("core: predictor %s: %w", app.Name, err)
+		}
+		c.mu.Lock()
+		c.preds[app.Name] = pd
+		c.mu.Unlock()
+		return pair{p, pd}, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	if pd, ok := c.preds[app.Name]; ok {
-		return p, pd, nil
-	}
-	pd, err := perfmodel.NewPredictor(c.Cluster.Spec(), p)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: predictor %s: %w", app.Name, err)
-	}
-	c.preds[app.Name] = pd
-	return p, pd, nil
+	pr := v.(pair)
+	return pr.p, pr.pd, nil
 }
 
 // Predictor returns the knowledge-database profile and the fitted
@@ -147,13 +216,48 @@ func (c *CLIP) Predictor(app *workload.Spec) (*profile.Profile, *perfmodel.Predi
 
 // Schedule produces the full cluster-level decision for app under a
 // total power bound (watts over the CPU+DRAM domains of all
-// participating nodes).
+// participating nodes). Decisions are memoized per (application,
+// bound, coordinator options): repeated and concurrent requests share
+// one profile/predictor/coordination pass and then serve clones of the
+// cached decision, so callers may freely annotate the returned plan.
 func (c *CLIP) Schedule(app *workload.Spec, bound float64) (*coordinator.Decision, error) {
-	p, pd, err := c.predictor(app)
+	key := decisionKey{
+		app:          app.Name,
+		bound:        bound,
+		threshold:    c.coord.Threshold,
+		thresholdSet: c.coord.ThresholdSet,
+		tolerance:    c.coord.EnergyTolerance,
+	}
+	c.mu.RLock()
+	d, ok := c.decisions[key]
+	c.mu.RUnlock()
+	if ok {
+		return d.Clone(), nil
+	}
+	v, err, _ := c.flight.Do(key.flightKey(), func() (interface{}, error) {
+		c.mu.RLock()
+		d, ok := c.decisions[key]
+		c.mu.RUnlock()
+		if ok {
+			return d, nil
+		}
+		p, pd, err := c.predictor(app)
+		if err != nil {
+			return nil, err
+		}
+		d, err = c.coord.Schedule(app, p, pd, bound)
+		if err != nil {
+			return nil, err // infeasible bounds are not cached
+		}
+		c.mu.Lock()
+		c.decisions[key] = d
+		c.mu.Unlock()
+		return d, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	return c.coord.Schedule(app, p, pd, bound)
+	return v.(*coordinator.Decision).Clone(), nil
 }
 
 // Plan implements plan.Method. The cluster argument must be the one

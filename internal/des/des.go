@@ -11,10 +11,14 @@
 // see — controller settling after phase changes, barrier jitter under
 // manufacturing variability, and cap overshoot during the first control
 // intervals.
+//
+// The event queue is a typed binary heap (no container/heap, no
+// interface{} boxing) with a free list for Event structs, so steady
+// simulation runs allocate next to nothing per event; cancelled events
+// are compacted out of the queue once they outnumber the live ones.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -26,30 +30,21 @@ type Event struct {
 	fn   func()
 	// cancelled events stay in the heap but do nothing when popped.
 	cancelled bool
+	// eng is the owning engine while the event is pending; nil once it
+	// has fired or been reclaimed (events are recycled via a free list).
+	eng *Engine
 }
 
-// Cancel marks the event so it is skipped when its time comes.
-func (e *Event) Cancel() { e.cancelled = true }
-
-// eventHeap orders events by (time, insertion sequence).
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// Cancel marks the event so it is skipped when its time comes. It is
+// only meaningful while the event is pending: cancelling an event that
+// has already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() {
+	if e.cancelled || e.eng == nil {
+		return
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	e.cancelled = true
+	e.eng.cancelled++
+	e.eng.maybeCompact()
 }
 
 // Engine is a minimal discrete-event core: schedule closures in virtual
@@ -57,23 +52,42 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now   float64
 	seq   uint64
-	queue eventHeap
+	queue []*Event // binary heap ordered by (Time, seq)
+	free  []*Event // reclaimed events awaiting reuse
+	// cancelled counts cancelled events still sitting in the queue.
+	cancelled int
 	// Steps counts processed (non-cancelled) events.
 	Steps int
 }
 
 // NewEngine returns an engine at time zero.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
 
+// alloc takes an Event from the free list or the heap (the Go one).
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return new(Event)
+}
+
+// reclaim returns a finished event to the free list.
+func (e *Engine) reclaim(ev *Event) {
+	ev.fn = nil
+	ev.eng = nil
+	ev.cancelled = false
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn at absolute time t (>= Now) and returns the event for
-// cancellation.
+// cancellation. The returned pointer is only valid until the event
+// fires; the engine recycles fired events.
 func (e *Engine) At(t float64, fn func()) (*Event, error) {
 	if t < e.now-1e-12 {
 		return nil, fmt.Errorf("des: schedule at %g before now %g", t, e.now)
@@ -82,14 +96,101 @@ func (e *Engine) At(t float64, fn func()) (*Event, error) {
 		return nil, fmt.Errorf("des: invalid event time %g", t)
 	}
 	e.seq++
-	ev := &Event{Time: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	ev.Time = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.eng = e
+	e.push(ev)
 	return ev, nil
 }
 
 // After schedules fn dt seconds from now.
 func (e *Engine) After(dt float64, fn func()) (*Event, error) {
 	return e.At(e.now+dt, fn)
+}
+
+// less orders events by (time, insertion sequence).
+func less(a, b *Event) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.seq < b.seq
+}
+
+// push inserts an event, restoring the heap property by sift-up.
+func (e *Engine) push(ev *Event) {
+	e.queue = append(e.queue, ev)
+	i := len(e.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(e.queue[i], e.queue[parent]) {
+			break
+		}
+		e.queue[i], e.queue[parent] = e.queue[parent], e.queue[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (e *Engine) pop() *Event {
+	q := e.queue
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+// siftDown restores the heap property below index i.
+func (e *Engine) siftDown(i int) {
+	q := e.queue
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && less(q[right], q[left]) {
+			least = right
+		}
+		if !less(q[least], q[i]) {
+			return
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+}
+
+// maybeCompact rebuilds the queue without its cancelled events once
+// they outnumber the live ones, so long runs with heavy rescheduling
+// (every controller tick cancels a phase completion) keep the heap
+// small instead of dragging dead events to their pop time.
+func (e *Engine) maybeCompact() {
+	if e.cancelled*2 <= len(e.queue) || len(e.queue) < 16 {
+		return
+	}
+	live := e.queue[:0]
+	for _, ev := range e.queue {
+		if ev.cancelled {
+			e.reclaim(ev)
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = live
+	e.cancelled = 0
+	for i := len(live)/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
 }
 
 // Run processes events until the queue is empty or time exceeds
@@ -99,9 +200,11 @@ func (e *Engine) Run(horizon float64, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 50_000_000
 	}
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
+	for len(e.queue) > 0 {
+		ev := e.pop()
 		if ev.cancelled {
+			e.cancelled--
+			e.reclaim(ev)
 			continue
 		}
 		if horizon > 0 && ev.Time > horizon {
@@ -116,7 +219,10 @@ func (e *Engine) Run(horizon float64, maxSteps int) error {
 		if e.Steps > maxSteps {
 			return fmt.Errorf("des: exceeded %d events (runaway simulation?)", maxSteps)
 		}
-		ev.fn()
+		fn := ev.fn
+		ev.eng = nil // pending no more: Cancel becomes a no-op
+		fn()
+		e.reclaim(ev)
 	}
 	return nil
 }

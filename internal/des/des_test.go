@@ -379,3 +379,105 @@ func TestDESCapsPropertyRandomBudgets(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineCompaction schedules many events and cancels most of them;
+// the queue must shed the cancelled majority without disturbing the
+// delivery order of the survivors.
+func TestEngineCompaction(t *testing.T) {
+	e := NewEngine()
+	var events []*Event
+	var got []int
+	for i := 0; i < 1000; i++ {
+		i := i
+		ev, err := e.At(float64(i%10), func() { got = append(got, i) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	var want []int
+	for i, ev := range events {
+		if i%4 != 0 {
+			ev.Cancel()
+		}
+	}
+	// Survivors fire ordered by (time, insertion sequence).
+	for tick := 0; tick < 10; tick++ {
+		for i := range events {
+			if i%4 == 0 && i%10 == tick {
+				want = append(want, i)
+			}
+		}
+	}
+	if len(e.queue) >= 1000 {
+		t.Errorf("queue not compacted: %d events still held", len(e.queue))
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivery order diverged at %d: got %v... want %v...", i, got[i], want[i])
+		}
+	}
+	if e.Steps != len(want) {
+		t.Errorf("Steps = %d, want %d (cancelled events must not count)", e.Steps, len(want))
+	}
+}
+
+// TestEngineCancelAfterFire pins the free-list contract: cancelling an
+// already-fired event must not affect later events that reuse its slot.
+func TestEngineCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	var first *Event
+	var err error
+	first, err = e.At(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	first.Cancel() // no-op: already fired
+	ran := false
+	if _, err := e.At(2, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("event reusing a fired slot was lost to a stale Cancel")
+	}
+}
+
+// TestEngineReusesEvents checks the free list actually recycles: a
+// schedule/fire loop must not grow allocations linearly.
+func TestEngineReusesEvents(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n < 1000 {
+			if _, err := e.After(1, loop); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := e.At(0, loop); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("ran %d events", n)
+	}
+	if len(e.free) > 4 {
+		t.Errorf("free list holds %d events after a serial chain; reuse broken?", len(e.free))
+	}
+}

@@ -11,6 +11,7 @@ package hw
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeSpec describes the hardware of a single compute node.
@@ -49,6 +50,19 @@ type NodeSpec struct {
 	// OtherPower is the per-node power of components outside CPU+DRAM
 	// (NIC, disks, fans) in watts; it is constant and not manageable.
 	OtherPower float64
+
+	// ladderMu guards ladders, the lazily built nominal power-ladder
+	// tables keyed by (activeCores, socketsUsed). The cache makes the
+	// cap solvers in internal/power a binary search instead of a walk
+	// down the DVFS ladder recomputing the power polynomial. Specs are
+	// shared by pointer, so the cache is concurrency safe.
+	ladderMu sync.RWMutex
+	ladders  map[ladderKey][]float64
+}
+
+// ladderKey identifies one cached power ladder.
+type ladderKey struct {
+	cores, sockets int
 }
 
 // Cores returns the total core count of the node.
@@ -59,6 +73,49 @@ func (s *NodeSpec) FMin() float64 { return s.FreqLevels[0] }
 
 // FMax returns the highest DVFS frequency in GHz.
 func (s *NodeSpec) FMax() float64 { return s.FreqLevels[len(s.FreqLevels)-1] }
+
+// NominalCPUPower returns the CPU-domain power of a nominal
+// (variability 1.0) node in watts when activeCores cores run at
+// frequency f (GHz) over socketsUsed sockets. Sockets with no active
+// cores are assumed parked and draw no budgeted power. Per-node
+// manufacturing variability is a multiplicative factor applied by the
+// callers in internal/power.
+func (s *NodeSpec) NominalCPUPower(activeCores, socketsUsed int, f float64) float64 {
+	if activeCores <= 0 || socketsUsed <= 0 {
+		return 0
+	}
+	perCore := s.CoreIdlePower + s.CoreDynCoeff*math.Pow(f, s.CoreDynExp)
+	return float64(socketsUsed)*s.SocketBasePower + float64(activeCores)*perCore
+}
+
+// LadderPowers returns the nominal CPU-domain power at every DVFS
+// ladder frequency for a configuration of activeCores cores over
+// socketsUsed sockets, ascending with FreqLevels. The slice is cached
+// on the spec and shared: callers must not modify it.
+func (s *NodeSpec) LadderPowers(activeCores, socketsUsed int) []float64 {
+	key := ladderKey{activeCores, socketsUsed}
+	s.ladderMu.RLock()
+	t, ok := s.ladders[key]
+	s.ladderMu.RUnlock()
+	if ok {
+		return t
+	}
+	t = make([]float64, len(s.FreqLevels))
+	for i, f := range s.FreqLevels {
+		t[i] = s.NominalCPUPower(activeCores, socketsUsed, f)
+	}
+	s.ladderMu.Lock()
+	if prev, ok := s.ladders[key]; ok {
+		t = prev // another goroutine won the race; share its slice
+	} else {
+		if s.ladders == nil {
+			s.ladders = make(map[ladderKey][]float64)
+		}
+		s.ladders[key] = t
+	}
+	s.ladderMu.Unlock()
+	return t
+}
 
 // NearestFreq returns the highest ladder frequency <= f, or FMin if f is
 // below the ladder.

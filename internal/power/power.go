@@ -37,12 +37,7 @@ func (b Budget) String() string {
 // coefficient eff. Sockets with no active cores are assumed parked into
 // a deep package sleep state and draw no budgeted power.
 func CPUPower(spec *hw.NodeSpec, activeCores, socketsUsed int, f, eff float64) float64 {
-	if activeCores <= 0 || socketsUsed <= 0 {
-		return 0
-	}
-	perCore := spec.CoreIdlePower + spec.CoreDynCoeff*math.Pow(f, spec.CoreDynExp)
-	p := float64(socketsUsed)*spec.SocketBasePower + float64(activeCores)*perCore
-	return p * eff
+	return spec.NominalCPUPower(activeCores, socketsUsed, f) * eff
 }
 
 // MemPowerAt returns the DRAM-domain power in watts when the node draws
@@ -114,16 +109,29 @@ func EffectiveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff 
 // frequency is still returned (clamping below Fmin is not possible with
 // DVFS alone, mirroring RAPL's behaviour of duty-cycling, which the
 // paper's acceptable power range explicitly avoids).
+// The ladder powers are precomputed per (cores, sockets) on the spec
+// (hw.NodeSpec.LadderPowers) and ascend with frequency, so the solve is
+// a binary search for the highest fitting level with the node's
+// variability factor applied analytically, rather than re-evaluating
+// the power polynomial down the ladder.
 func SolveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff float64) (f, p float64, ok bool) {
-	for i := len(spec.FreqLevels) - 1; i >= 0; i-- {
-		f = spec.FreqLevels[i]
-		p = CPUPower(spec, activeCores, socketsUsed, f, eff)
-		if p <= cpuCap+1e-9 {
-			return f, p, true
+	ladder := spec.LadderPowers(activeCores, socketsUsed)
+	// Find the largest index whose power fits the cap: invariant
+	// ladder[lo-1]*eff fits, ladder[hi]*eff does not.
+	lo, hi := 0, len(ladder)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ladder[mid]*eff <= cpuCap+1e-9 {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	f = spec.FMin()
-	return f, CPUPower(spec, activeCores, socketsUsed, f, eff), false
+	if lo == 0 {
+		// Even the lowest frequency exceeds the cap.
+		return spec.FreqLevels[0], ladder[0] * eff, false
+	}
+	return spec.FreqLevels[lo-1], ladder[lo-1] * eff, true
 }
 
 // MaxCoresAt returns the largest number of active cores that fit within

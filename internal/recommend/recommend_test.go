@@ -1,10 +1,12 @@
 package recommend
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
+	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/workload"
 )
@@ -235,6 +237,87 @@ func TestEnergyAwareTolerance(t *testing.T) {
 	}
 	if _, err := RecommendWithTolerance(spec, p, pd, 250, 1.0, -0.1); err == nil {
 		t.Error("negative tolerance accepted")
+	}
+}
+
+// TestTieBreakFewestCores pins the tie-breaking rule: among candidate
+// configurations with equal predicted iteration time, the fewest cores
+// win (no reason to power cores that buy nothing). A flat synthetic
+// profile — equal measured times at half and all cores, no DRAM traffic
+// — makes every core count predict the same runtime at an ample budget.
+func TestTieBreakFewestCores(t *testing.T) {
+	spec := hw.HaswellSpec()
+	flat := &profile.Profile{
+		App:       "flat",
+		NodeCores: spec.Cores(),
+		Affinity:  workload.Compact,
+		Class:     workload.Linear,
+		Half:      profile.Sample{Cores: spec.Cores() / 2, IterTime: 2.0},
+		All:       profile.Sample{Cores: spec.Cores(), IterTime: 2.0},
+	}
+	pd, err := perfmodel.NewPredictor(spec, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the model really predicts identical times everywhere.
+	if pd.Time(1, spec.FMax(), 100) != pd.Time(spec.Cores(), spec.FMax(), 100) {
+		t.Fatalf("synthetic profile is not flat: T(1)=%v T(all)=%v",
+			pd.Time(1, spec.FMax(), 100), pd.Time(spec.Cores(), spec.FMax(), 100))
+	}
+	cfg, err := RecommendWithTolerance(spec, flat, pd, 400, 1.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Cores != 1 {
+		t.Errorf("flat profile recommended %d cores, want 1 (fewest on a tie)", cfg.Cores)
+	}
+}
+
+// TestDutyCycleFallback pins the starved-budget path: when the CPU
+// share cannot sustain even the lowest ladder frequency, the
+// recommender still returns a configuration, flagged CapOK=false with a
+// duty-cycled frequency below FMin, and the split stays within budget.
+func TestDutyCycleFallback(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	cfg, err := Recommend(spec, p, pd, 40, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CapOK {
+		t.Error("a 40 W node budget cannot be within the acceptable range")
+	}
+	if cfg.Freq >= spec.FMin() {
+		t.Errorf("duty-cycled frequency %v not below FMin %v", cfg.Freq, spec.FMin())
+	}
+	if tot := cfg.Budget.Total(); tot > 40+1e-9 {
+		t.Errorf("starved split totals %v W", tot)
+	}
+	if cfg.PredIterTime <= 0 || math.IsInf(cfg.PredIterTime, 1) {
+		t.Errorf("no usable prediction under duty cycling: %v", cfg.PredIterTime)
+	}
+}
+
+// TestSurplusBudgetTrimmed pins the §III-B1 trim: a node budget far
+// above the acceptable range's upper bound must not be hoarded — the
+// CPU allocation is cut to the draw at FMax plus the 8% variability
+// headroom so the surplus returns to the cluster pool.
+func TestSurplusBudgetTrimmed(t *testing.T) {
+	spec, p, pd := setup(t, workload.CoMD())
+	const ample = 5000.0
+	cfg, err := Recommend(spec, p, pd, ample, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sockets := profile.SocketsUsed(spec, cfg.Cores, cfg.Affinity)
+	maxUseful := power.CPUPower(spec, cfg.Cores, sockets, spec.FMax(), 1.0) * 1.08
+	if cfg.Budget.CPU > maxUseful+1e-9 {
+		t.Errorf("CPU budget %v W exceeds the useful maximum %v W", cfg.Budget.CPU, maxUseful)
+	}
+	if cfg.Budget.Total() > ample/2 {
+		t.Errorf("surplus budget not trimmed: %v W retained of %v", cfg.Budget.Total(), ample)
+	}
+	if cfg.Freq != spec.FMax() || !cfg.CapOK {
+		t.Error("trimmed configuration must still run at FMax within the cap")
 	}
 }
 

@@ -1,0 +1,51 @@
+// Package singleflight provides duplicate call suppression: concurrent
+// callers of Do with the same key share one execution and its result.
+// It is a minimal, dependency-free version of the well-known pattern,
+// used by core.CLIP so concurrent experiments share profiling,
+// predictor fitting and scheduling work instead of duplicating it or
+// serialising on one big lock.
+package singleflight
+
+import "sync"
+
+// call is one in-flight (or finished) Do invocation.
+type call struct {
+	wg  sync.WaitGroup
+	val interface{}
+	err error
+}
+
+// Group suppresses duplicate calls per key. The zero value is ready to
+// use.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn and returns its result, making sure only one
+// execution per key is in flight at a time: concurrent duplicates wait
+// for the original and receive the same result. shared reports whether
+// the result was shared with other callers.
+func (g *Group) Do(key string, fn func() (interface{}, error)) (v interface{}, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.val, c.err, false
+}

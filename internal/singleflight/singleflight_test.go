@@ -1,0 +1,94 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group
+	v, err, shared := g.Do("k", func() (interface{}, error) { return 42, nil })
+	if err != nil || v.(int) != 42 || shared {
+		t.Fatalf("got %v %v shared=%v", v, err, shared)
+	}
+	// A later call with the same key executes again (the group only
+	// dedupes concurrent callers, it is not a cache).
+	calls := 0
+	for i := 0; i < 3; i++ {
+		g.Do("k", func() (interface{}, error) { calls++; return nil, nil })
+	}
+	if calls != 3 {
+		t.Fatalf("sequential calls deduped: %d", calls)
+	}
+}
+
+func TestDoConcurrentShares(t *testing.T) {
+	var g Group
+	var execs int32
+	release := make(chan struct{})
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("k", func() (interface{}, error) {
+				atomic.AddInt32(&execs, 1)
+				<-release
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	// Let the goroutines pile up on the key, then release the one
+	// executor.
+	for atomic.LoadInt32(&execs) == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if execs != 1 {
+		t.Errorf("fn executed %d times, want 1", execs)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Errorf("caller %d got %d", i, v)
+		}
+	}
+}
+
+func TestDoPropagatesError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() (interface{}, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDoDistinctKeys(t *testing.T) {
+	var g Group
+	var wg sync.WaitGroup
+	var execs int32
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		key := string(rune('a' + i))
+		go func() {
+			defer wg.Done()
+			g.Do(key, func() (interface{}, error) {
+				atomic.AddInt32(&execs, 1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if execs != 8 {
+		t.Errorf("distinct keys collapsed: %d execs", execs)
+	}
+}

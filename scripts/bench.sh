@@ -1,0 +1,59 @@
+#!/bin/sh
+# bench.sh — run the framework's hot-path micro-benchmarks and time the
+# full clipbench suite (serial vs parallel), emitting BENCH_results.json
+# at the repository root. Pure toolchain + POSIX sh/awk; no extra deps.
+#
+# Usage: ./scripts/bench.sh [output.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_results.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+BENCHES='BenchmarkCLIPSchedule$|BenchmarkSimRun$|BenchmarkOptimalSearch$'
+
+echo "== micro-benchmarks ==" >&2
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=50x . | tee "$TMP/bench.txt" >&2
+
+echo "== suite wall time ==" >&2
+go build -o "$TMP/clipbench" ./cmd/clipbench
+
+wall_ms() {
+    start=$(date +%s%N)
+    "$TMP/clipbench" -exp all -parallel "$1" > /dev/null
+    end=$(date +%s%N)
+    echo $(( (end - start) / 1000000 ))
+}
+
+SERIAL_MS=$(wall_ms 1)
+PARALLEL_MS=$(wall_ms 0)
+WORKERS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+echo "suite: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (${WORKERS} workers)" >&2
+
+awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the GOMAXPROCS suffix
+    ns[name] = $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i) == "B/op")      bytes[name]  = $(i-1)
+        if ($(i) == "allocs/op") allocs[name] = $(i-1)
+    }
+    if (!(name in order)) { order[name] = ++n; names[n] = name }
+}
+END {
+    printf "{\n  \"benchmarks\": {\n"
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, ns[name], bytes[name] == "" ? 0 : bytes[name], \
+            allocs[name] == "" ? 0 : allocs[name], i < n ? "," : ""
+    }
+    printf "  },\n"
+    printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
+    printf "}\n"
+}' "$TMP/bench.txt" > "$OUT"
+
+echo "wrote $OUT" >&2
+cat "$OUT"
