@@ -2,13 +2,17 @@
 #
 #   make build   — compile everything
 #   make test    — tier-1: the full test suite
-#   make check   — tier-2: build + vet + race-enabled tests
+#   make check   — tier-2: build + vet + race-enabled tests + docs lint
+#   make docs    — gofmt + vet + godoc-coverage lint (cmd/doclint)
 #   make bench   — hot-path benchmarks + suite wall time -> BENCH_results.json
 #   make suite   — regenerate every paper artifact (parallel runner)
 
 GO ?= go
 
-.PHONY: build test check bench suite
+# Packages whose exported identifiers must all carry doc comments.
+DOC_PKGS = ./internal/telemetry ./internal/core ./internal/coordinator
+
+.PHONY: build test check docs bench suite
 
 build:
 	$(GO) build ./...
@@ -18,8 +22,14 @@ test:
 
 check:
 	$(GO) build ./...
-	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) docs
+
+docs:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/doclint $(DOC_PKGS)
 
 bench:
 	./scripts/bench.sh

@@ -7,10 +7,17 @@
 //	clipbench -exp fig8
 //	clipbench -exp all
 //	clipbench -exp all -parallel 4
+//	clipbench -exp all -telemetry :9090          # live /metrics while running
+//	clipbench -exp fig8 -telemetry-out tele.json # end-of-run report path
 //
 // Experiments run concurrently from a bounded worker pool (-parallel,
 // default GOMAXPROCS) but their reports are flushed in order, so the
 // output is byte-identical to a serial run (-parallel 1).
+//
+// Every run additionally emits a machine-readable telemetry report
+// (JSON: schedule-decision events, cache hit/miss counters, per-node
+// budget gauges, per-experiment wall times) to -telemetry-out, and can
+// serve the same data live in Prometheus text format on -telemetry.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +35,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
 	parallel := flag.Int("parallel", 0, "worker count for the suite and inner sweeps (0 = GOMAXPROCS, 1 = serial)")
+	teleAddr := flag.String("telemetry", "", "serve live telemetry over HTTP on this address while the run is in progress (e.g. :9090; /metrics, /telemetry.json)")
+	teleOut := flag.String("telemetry-out", "TELEMETRY_report.json", "write the end-of-run telemetry report (JSON) to this file; empty disables")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +44,16 @@ func main() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	if *teleAddr != "" {
+		srv, addr, err := telemetry.Serve(*teleAddr, telemetry.Default)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clipbench: telemetry live on http://%s/metrics\n", addr)
 	}
 
 	ctx := bench.NewContext()
@@ -62,7 +82,13 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := bench.RunSuite(ctx, os.Stdout, ids); err != nil {
+	err := bench.RunSuite(ctx, os.Stdout, ids)
+	if *teleOut != "" {
+		if werr := telemetry.Default.WriteReportFile(*teleOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "clipbench: telemetry report:", werr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "clipbench: %v\n", err)
 		os.Exit(1)
 	}

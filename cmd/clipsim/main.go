@@ -8,6 +8,7 @@
 //	clipsim -app comd -budget 1800 -method all   # compare every method
 //	clipsim -spec custom.json -app myapp          # user-defined workload
 //	clipsim -app lu-mz.C -weak                    # weak-scaled variant
+//	clipsim -app comd -telemetry :9090            # live /metrics endpoint
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -31,7 +33,25 @@ func main() {
 	sigma := flag.Float64("sigma", 0.02, "manufacturing variability sigma")
 	specPath := flag.String("spec", "", "JSON workload file; -app then selects by name within it")
 	weak := flag.Bool("weak", false, "run the weak-scaled variant of the application")
+	teleAddr := flag.String("telemetry", "", "serve live telemetry over HTTP on this address (e.g. :9090; /metrics, /telemetry.json)")
+	teleOut := flag.String("telemetry-out", "", "write an end-of-run telemetry report (JSON) to this file")
 	flag.Parse()
+
+	if *teleAddr != "" {
+		srv, addr, err := telemetry.Serve(*teleAddr, telemetry.Default)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "clipsim: telemetry live on http://%s/metrics\n", addr)
+	}
+	if *teleOut != "" {
+		defer func() {
+			if err := telemetry.Default.WriteReportFile(*teleOut); err != nil {
+				fmt.Fprintln(os.Stderr, "clipsim: telemetry report:", err)
+			}
+		}()
+	}
 
 	app, err := resolveApp(*specPath, *appName)
 	if err != nil {

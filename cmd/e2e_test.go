@@ -4,6 +4,7 @@
 package cmd_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -32,10 +33,15 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-// run executes a built binary and returns its combined output.
+// run executes a built binary and returns its combined output. The
+// working directory is the temporary binary directory, so default
+// output files (e.g. clipbench's TELEMETRY_report.json) never land in
+// the repository.
 func run(t *testing.T, bin string, args ...string) string {
 	t.Helper()
-	out, err := exec.Command(filepath.Join(binDir, bin), args...).CombinedOutput()
+	cmd := exec.Command(filepath.Join(binDir, bin), args...)
+	cmd.Dir = binDir
+	out, err := cmd.CombinedOutput()
 	if err != nil {
 		t.Fatalf("%s %v failed: %v\n%s", bin, args, err, out)
 	}
@@ -124,6 +130,73 @@ func TestClipbenchParallelDeterministic(t *testing.T) {
 	par := run(t, "clipbench", "-exp", exps, "-parallel", "4")
 	if serial != par {
 		t.Errorf("-parallel 4 output differs from -parallel 1 (%d vs %d bytes)", len(serial), len(par))
+	}
+}
+
+// TestClipbenchTelemetryReport pins the observability contract: any
+// experiment run emits a non-empty machine-readable telemetry report
+// with schedule-decision counts, cache hit/miss counters, per-node
+// budget gauges, and the decision-event log.
+func TestClipbenchTelemetryReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tele.json")
+	run(t, "clipbench", "-exp", "overhead", "-telemetry-out", path)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("telemetry report not written: %v", err)
+	}
+	var report struct {
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Events   []struct {
+			Kind string `json:"kind"`
+			App  string `json:"app"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("telemetry report is not valid JSON: %v", err)
+	}
+	if report.Counters["clip_schedules_total"] == 0 {
+		t.Error("no schedule decisions counted")
+	}
+	hits := report.Counters["clip_decision_cache_hits_total"]
+	misses := report.Counters["clip_decision_cache_misses_total"]
+	if hits+misses == 0 {
+		t.Error("no decision cache activity counted")
+	}
+	var nodeBudgets int
+	for name := range report.Gauges {
+		if strings.HasPrefix(name, "clip_node_budget_cpu_watts{") {
+			nodeBudgets++
+		}
+	}
+	if nodeBudgets == 0 {
+		t.Errorf("no per-node budget gauges in report; gauges: %v", report.Gauges)
+	}
+	var schedules int
+	for _, e := range report.Events {
+		if e.Kind == "schedule" && e.App != "" {
+			schedules++
+		}
+	}
+	if schedules == 0 {
+		t.Error("decision-event log has no schedule events")
+	}
+}
+
+// TestClipsimTelemetryReport checks the clipsim surface writes the
+// same report format on demand.
+func TestClipsimTelemetryReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tele.json")
+	run(t, "clipsim", "-app", "comd", "-budget", "1200", "-telemetry-out", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("telemetry report not written: %v", err)
+	}
+	for _, marker := range []string{"clip_schedules_total", "clip_power_solvefreq_total", `"kind": "schedule"`} {
+		if !strings.Contains(string(data), marker) {
+			t.Errorf("report missing %q", marker)
+		}
 	}
 }
 

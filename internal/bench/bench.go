@@ -14,13 +14,26 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/plan"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
+)
+
+// Telemetry handles: experiment throughput and wall time. Per-
+// experiment times additionally land in labelled gauges
+// (clip_bench_experiment_seconds{exp="fig8"}), so an end-of-run report
+// attributes the suite's cost to individual artifacts.
+var (
+	mExperiments = telemetry.Default.Counter("clip_bench_experiments_total",
+		"experiments executed")
+	mExperimentSeconds = telemetry.Default.Histogram("clip_bench_experiment_seconds",
+		"wall time per experiment", nil)
 )
 
 // Context carries shared state across experiments: the testbed model
@@ -202,7 +215,14 @@ func RunSuite(ctx *Context, w io.Writer, ids []string) error {
 	bufs := make([]bytes.Buffer, len(exps))
 	errs := make([]error, len(exps))
 	ctx.forEach(len(exps), func(i int) {
+		start := time.Now()
 		errs[i] = exps[i].Run(ctx, &bufs[i])
+		elapsed := time.Since(start).Seconds()
+		mExperiments.Inc()
+		mExperimentSeconds.Observe(elapsed)
+		telemetry.Default.Gauge(
+			telemetry.Label("clip_bench_experiment_wall_seconds", "exp", exps[i].ID),
+			"wall time of the most recent run of the experiment").Set(elapsed)
 	})
 	for i := range exps {
 		if errs[i] != nil {

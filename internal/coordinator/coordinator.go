@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
@@ -23,7 +24,23 @@ import (
 	"repro/internal/power"
 	"repro/internal/profile"
 	"repro/internal/recommend"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
+)
+
+// Telemetry handles (see internal/telemetry): schedule and rebalance
+// totals, infeasible node-count rejections, and duty-cycle fallbacks.
+// Per-node budget gauges are looked up per schedule (node ids are
+// dynamic) — Schedule is memoized by core.CLIP, so that path is cold.
+var (
+	mSchedules = telemetry.Default.Counter("clip_coordinator_schedules_total",
+		"cluster-level scheduling passes (Algorithm 1)")
+	mRebalances = telemetry.Default.Counter("clip_coordinator_rebalances_total",
+		"variability-aware budget redistributions (paper §III-B2)")
+	mInfeasible = telemetry.Default.Counter("clip_coordinator_infeasible_counts_total",
+		"candidate node counts rejected as infeasible under the bound")
+	mDutyFallback = telemetry.Default.Counter("clip_coordinator_dutycycle_fallbacks_total",
+		"decisions forced outside the acceptable power range (duty-cycled fallback)")
 )
 
 // VariabilityThreshold is the spread in per-node power efficiency above
@@ -47,6 +64,14 @@ type Decision struct {
 	PredTime float64
 	// Coordinated is true when variability-aware re-balancing ran.
 	Coordinated bool
+	// Class is the scalability class of the profile the decision was
+	// computed from (decision provenance for the telemetry event log).
+	Class string
+	// NP is the predicted concurrency inflection point of that profile.
+	NP int
+	// Sockets is the number of sockets the chosen configuration
+	// occupies per node.
+	Sockets int
 }
 
 // Clone returns a deep copy of the decision, so cached decisions can
@@ -114,6 +139,7 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		perNode := bound / float64(n)
 		cfg, err := recommend.RecommendWithTolerance(spec, prof, pd, perNode, 1.0, c.EnergyTolerance)
 		if err != nil {
+			mInfeasible.Inc()
 			continue
 		}
 		// Respect the acceptable power range: skip node counts that
@@ -137,6 +163,7 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 			return nil, fmt.Errorf("coordinator: no feasible node count for %s under %.1f W", app.Name, bound)
 		}
 		best = *fallback
+		mDutyFallback.Inc()
 	}
 
 	ids := c.pickNodes(best.nodes)
@@ -150,7 +177,39 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		Notes: fmt.Sprintf("class=%s np=%d nodes=%d cores=%d %s",
 			prof.Class, prof.PredictedNP, best.nodes, best.cfg.Cores, best.cfg.Budget),
 	}
-	return &Decision{Plan: p, NodeCfg: best.cfg, PredTime: best.pred, Coordinated: coordinated}, nil
+	d := &Decision{
+		Plan: p, NodeCfg: best.cfg, PredTime: best.pred, Coordinated: coordinated,
+		Class:   prof.Class.String(),
+		NP:      prof.PredictedNP,
+		Sockets: profile.SocketsUsed(spec, best.cfg.Cores, best.cfg.Affinity),
+	}
+	c.publish(app.Name, bound, ids, budgets, coordinated)
+	return d, nil
+}
+
+// publish reports the scheduling pass to the telemetry layer: the
+// per-node budget gauges every pass, plus a rebalance event carrying
+// the redistributed budgets when coordination ran.
+func (c *Coordinator) publish(app string, bound float64, ids []int, budgets []power.Budget, coordinated bool) {
+	mSchedules.Inc()
+	for i, id := range ids {
+		n := strconv.Itoa(id)
+		telemetry.Default.Gauge(telemetry.Label("clip_node_budget_cpu_watts", "node", n),
+			"CPU-domain power budget most recently assigned to the node").Set(budgets[i].CPU)
+		telemetry.Default.Gauge(telemetry.Label("clip_node_budget_mem_watts", "node", n),
+			"DRAM-domain power budget most recently assigned to the node").Set(budgets[i].Mem)
+	}
+	if !coordinated {
+		return
+	}
+	mRebalances.Inc()
+	ev := telemetry.Event{Kind: telemetry.KindRebalance, App: app, BoundWatts: bound, Coordinated: true}
+	for i, id := range ids {
+		ev.PerNode = append(ev.PerNode, telemetry.NodeBudget{
+			Node: id, CPUWatts: budgets[i].CPU, MemWatts: budgets[i].Mem,
+		})
+	}
+	telemetry.Default.Events().Append(ev)
 }
 
 // pickNodes selects the n most power-efficient nodes (lowest PowerEff):

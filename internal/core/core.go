@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/coordinator"
 	"repro/internal/hw"
@@ -30,7 +31,30 @@ import (
 	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/singleflight"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
+)
+
+// Telemetry handles (see internal/telemetry): cache effectiveness of
+// the memoized knowledge-database and decision caches, singleflight
+// dedups, and cold scheduling latency. Every Schedule call additionally
+// appends a decision event (app, bound, class, NP, configuration,
+// budget split, cache hit/miss) to the default event log.
+var (
+	mProfileHits = telemetry.Default.Counter("clip_profile_cache_hits_total",
+		"knowledge-database hits in CLIP.Profile")
+	mProfileMisses = telemetry.Default.Counter("clip_profile_cache_misses_total",
+		"knowledge-database misses (full smart-profiling passes)")
+	mDecisionHits = telemetry.Default.Counter("clip_decision_cache_hits_total",
+		"memoized scheduling decisions served from cache")
+	mDecisionMisses = telemetry.Default.Counter("clip_decision_cache_misses_total",
+		"scheduling decisions computed from scratch")
+	mFlightShared = telemetry.Default.Counter("clip_singleflight_shared_total",
+		"concurrent duplicate calls deduplicated singleflight-style")
+	mSchedules = telemetry.Default.Counter("clip_schedules_total",
+		"CLIP.Schedule calls (cache hits included)")
+	mScheduleSeconds = telemetry.Default.Histogram("clip_schedule_seconds",
+		"wall time of cold (uncached) scheduling decisions", nil)
 )
 
 // Options configures CLIP construction.
@@ -143,12 +167,15 @@ func (c *CLIP) DB() *profile.DB { return c.db }
 // application share one profiling pass.
 func (c *CLIP) Profile(app *workload.Spec) (*profile.Profile, error) {
 	if p, ok := c.db.Get(app.Name); ok {
+		mProfileHits.Inc()
 		return p, nil
 	}
-	v, err, _ := c.flight.Do("profile:"+app.Name, func() (interface{}, error) {
+	v, err, shared := c.flight.Do("profile:"+app.Name, func() (interface{}, error) {
 		if p, ok := c.db.Get(app.Name); ok {
+			mProfileHits.Inc()
 			return p, nil
 		}
+		mProfileMisses.Inc()
 		p, err := c.prof.Full(app, c.NPModel)
 		if err != nil {
 			return nil, fmt.Errorf("core: profile %s: %w", app.Name, err)
@@ -156,6 +183,9 @@ func (c *CLIP) Profile(app *workload.Spec) (*profile.Profile, error) {
 		c.db.Put(p)
 		return p, nil
 	})
+	if shared {
+		mFlightShared.Inc()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -232,15 +262,20 @@ func (c *CLIP) Schedule(app *workload.Spec, bound float64) (*coordinator.Decisio
 	d, ok := c.decisions[key]
 	c.mu.RUnlock()
 	if ok {
+		mDecisionHits.Inc()
+		recordDecision(app.Name, bound, d, true)
 		return d.Clone(), nil
 	}
-	v, err, _ := c.flight.Do(key.flightKey(), func() (interface{}, error) {
+	v, err, shared := c.flight.Do(key.flightKey(), func() (interface{}, error) {
 		c.mu.RLock()
 		d, ok := c.decisions[key]
 		c.mu.RUnlock()
 		if ok {
+			mDecisionHits.Inc()
 			return d, nil
 		}
+		mDecisionMisses.Inc()
+		start := time.Now()
 		p, pd, err := c.predictor(app)
 		if err != nil {
 			return nil, err
@@ -249,15 +284,47 @@ func (c *CLIP) Schedule(app *workload.Spec, bound float64) (*coordinator.Decisio
 		if err != nil {
 			return nil, err // infeasible bounds are not cached
 		}
+		mScheduleSeconds.Observe(time.Since(start).Seconds())
 		c.mu.Lock()
 		c.decisions[key] = d
 		c.mu.Unlock()
 		return d, nil
 	})
+	if shared {
+		mFlightShared.Inc()
+	}
 	if err != nil {
 		return nil, err
 	}
-	return v.(*coordinator.Decision).Clone(), nil
+	d = v.(*coordinator.Decision)
+	recordDecision(app.Name, bound, d, false)
+	return d.Clone(), nil
+}
+
+// recordDecision appends one schedule event to the telemetry decision
+// log — the provenance trail that lets a configuration choice be traced
+// back to the power bound and scalability class that produced it.
+func recordDecision(app string, bound float64, d *coordinator.Decision, cacheHit bool) {
+	mSchedules.Inc()
+	telemetry.Default.Counter(
+		telemetry.Label("clip_decisions_by_class_total", "class", d.Class),
+		"scheduling decisions per scalability class (paper Table I axis)").Inc()
+	telemetry.Default.Events().Append(telemetry.Event{
+		Kind:        telemetry.KindSchedule,
+		App:         app,
+		BoundWatts:  bound,
+		Class:       d.Class,
+		NP:          d.NP,
+		Nodes:       d.Plan.Nodes(),
+		Cores:       d.Plan.Cores,
+		Sockets:     d.Sockets,
+		Affinity:    d.Plan.Affinity.String(),
+		CPUWatts:    d.NodeCfg.Budget.CPU,
+		MemWatts:    d.NodeCfg.Budget.Mem,
+		PredTimeS:   d.PredTime,
+		Coordinated: d.Coordinated,
+		CacheHit:    cacheHit,
+	})
 }
 
 // Plan implements plan.Method. The cluster argument must be the one

@@ -21,6 +21,23 @@ package des
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
+)
+
+// Telemetry handles. The event loop is single-goroutine, so the engine
+// counts steps, compactions and the queue high-water mark in plain
+// fields and flushes them to the shared registry once per Run — the
+// per-event path stays free even of atomic operations.
+var (
+	mEvents = telemetry.Default.Counter("clip_des_events_total",
+		"discrete events processed across all simulation runs")
+	mCompactions = telemetry.Default.Counter("clip_des_compactions_total",
+		"event-queue compactions (cancelled events purged)")
+	mRuns = telemetry.Default.Counter("clip_des_runs_total",
+		"Engine.Run invocations")
+	gQueuePeak = telemetry.Default.Gauge("clip_des_queue_depth_peak",
+		"highest event-queue depth observed by any engine")
 )
 
 // Event is a scheduled callback in virtual time.
@@ -56,6 +73,10 @@ type Engine struct {
 	free  []*Event // reclaimed events awaiting reuse
 	// cancelled counts cancelled events still sitting in the queue.
 	cancelled int
+	// compactions counts queue rebuilds that purged cancelled events.
+	compactions int
+	// maxDepth is the queue-depth high-water mark of this engine.
+	maxDepth int
 	// Steps counts processed (non-cancelled) events.
 	Steps int
 }
@@ -121,6 +142,9 @@ func less(a, b *Event) bool {
 // push inserts an event, restoring the heap property by sift-up.
 func (e *Engine) push(ev *Event) {
 	e.queue = append(e.queue, ev)
+	if len(e.queue) > e.maxDepth {
+		e.maxDepth = len(e.queue)
+	}
 	i := len(e.queue) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -188,6 +212,7 @@ func (e *Engine) maybeCompact() {
 	}
 	e.queue = live
 	e.cancelled = 0
+	e.compactions++
 	for i := len(live)/2 - 1; i >= 0; i-- {
 		e.siftDown(i)
 	}
@@ -200,6 +225,13 @@ func (e *Engine) Run(horizon float64, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 50_000_000
 	}
+	mRuns.Inc()
+	startSteps, startComp := e.Steps, e.compactions
+	defer func() {
+		mEvents.Add(uint64(e.Steps - startSteps))
+		mCompactions.Add(uint64(e.compactions - startComp))
+		gQueuePeak.SetMax(float64(e.maxDepth))
+	}()
 	for len(e.queue) > 0 {
 		ev := e.pop()
 		if ev.cancelled {

@@ -27,7 +27,23 @@ import (
 	"repro/internal/power"
 	"repro/internal/recommend"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
+)
+
+// Telemetry handles: job throughput and queue pressure of the
+// multi-job runtime.
+var (
+	mJobsStarted = telemetry.Default.Counter("clip_jobsched_jobs_started_total",
+		"jobs placed on the cluster")
+	mJobsFinished = telemetry.Default.Counter("clip_jobsched_jobs_finished_total",
+		"jobs run to completion")
+	gQueueDepth = telemetry.Default.Gauge("clip_jobsched_queue_depth",
+		"queued jobs after the most recent scheduler event")
+	gQueuePeak = telemetry.Default.Gauge("clip_jobsched_queue_depth_peak",
+		"highest queue depth observed")
+	gFreeWatts = telemetry.Default.Gauge("clip_jobsched_free_watts",
+		"unallocated power after the most recent scheduler event")
 )
 
 // Job is one unit of work submitted to the scheduler.
@@ -267,6 +283,7 @@ func (st *schedState) accountPower() {
 // arrive enqueues a job and tries to dispatch.
 func (st *schedState) arrive(j Job) {
 	st.queue = append(st.queue, j)
+	gQueuePeak.SetMax(float64(len(st.queue)))
 	st.dispatch()
 }
 
@@ -287,12 +304,15 @@ func (st *schedState) dispatch() {
 				deadline = st.shadowTime()
 			}
 			if st.tryStart(st.queue[qi], deadline) {
+				mJobsStarted.Inc()
 				st.queue = append(st.queue[:qi], st.queue[qi+1:]...)
 				progress = true
 				break
 			}
 		}
 	}
+	gQueueDepth.Set(float64(len(st.queue)))
+	gFreeWatts.Set(st.freeW)
 }
 
 // shadowTime returns the earliest scheduled completion among running
@@ -403,6 +423,7 @@ func (rj *runningJob) progressTo(now float64) {
 
 // finish completes a job, frees its resources and dispatches.
 func (st *schedState) finish(rj *runningJob) {
+	mJobsFinished.Inc()
 	st.accountPower()
 	rj.result.Finish = st.eng.Now()
 	st.stats.Jobs = append(st.stats.Jobs, *rj.result)

@@ -10,6 +10,16 @@ import (
 	"math"
 
 	"repro/internal/hw"
+	"repro/internal/telemetry"
+)
+
+// Telemetry handles: ladder lookups are the innermost hot path of every
+// scheduling sweep, so the counters below are single atomic adds.
+var (
+	mSolveFreq = telemetry.Default.Counter("clip_power_solvefreq_total",
+		"DVFS ladder binary-search lookups (cap-to-frequency solves)")
+	mDutyCycle = telemetry.Default.Counter("clip_power_dutycycle_total",
+		"caps below the lowest DVFS frequency resolved by duty cycling")
 )
 
 // Budget is a node-level power budget split across the two manageable
@@ -95,6 +105,7 @@ func EffectiveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff 
 	if ok {
 		return f, p, true
 	}
+	mDutyCycle.Inc()
 	duty := cpuCap / p
 	if duty < 0.05 {
 		duty = 0.05
@@ -115,6 +126,7 @@ func EffectiveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff 
 // variability factor applied analytically, rather than re-evaluating
 // the power polynomial down the ladder.
 func SolveFreq(spec *hw.NodeSpec, activeCores, socketsUsed int, cpuCap, eff float64) (f, p float64, ok bool) {
+	mSolveFreq.Inc()
 	ladder := spec.LadderPowers(activeCores, socketsUsed)
 	// Find the largest index whose power fits the cap: invariant
 	// ladder[lo-1]*eff fits, ladder[hi]*eff does not.

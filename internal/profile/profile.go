@@ -20,6 +20,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/power"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -105,9 +106,20 @@ type Profiler struct {
 	Iterations int
 }
 
+// Telemetry handles: how many short sample runs and full
+// smart-profiling passes the run performed (the paper's ≤3-sample
+// overhead argument, Fig. 5, becomes checkable from metrics).
+var (
+	mSampleRuns = telemetry.Default.Counter("clip_profile_sample_runs_total",
+		"short profiling sample executions")
+	mFullProfiles = telemetry.Default.Counter("clip_profiling_passes_total",
+		"complete smart-profiling passes (Profiler.Full)")
+)
+
 // sample executes one profile configuration on node 0, uncapped
 // (profiling runs "with sufficient power", §IV-B1).
 func (pr *Profiler) sample(app *workload.Spec, cores int, aff workload.Affinity) (Sample, error) {
+	mSampleRuns.Inc()
 	iters := app.ProfileIterations
 	if pr.Iterations > 0 {
 		iters = pr.Iterations
@@ -173,6 +185,7 @@ func (pr *Profiler) Basic(app *workload.Spec) (*Profile, error) {
 // non-linear classes, the third sample at the predicted inflection
 // point (floored to even, paper §V-B2).
 func (pr *Profiler) Full(app *workload.Spec, pred NPPredictor) (*Profile, error) {
+	mFullProfiles.Inc()
 	p, err := pr.Basic(app)
 	if err != nil {
 		return nil, err

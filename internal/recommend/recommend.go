@@ -14,12 +14,17 @@ import (
 	"repro/internal/perfmodel"
 	"repro/internal/power"
 	"repro/internal/profile"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
 // MemHeadroomWatts is added above the predicted DRAM demand so small
 // model errors do not throttle bandwidth.
 const MemHeadroomWatts = 2.0
+
+// mRecommends counts node-level configuration searches (telemetry).
+var mRecommends = telemetry.Default.Counter("clip_recommend_calls_total",
+	"node-level configuration recommendation searches")
 
 // NodeConfig is the recommended node-level execution configuration.
 type NodeConfig struct {
@@ -81,6 +86,7 @@ func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel
 	if tolerance < 0 {
 		return NodeConfig{}, fmt.Errorf("recommend: negative slowdown tolerance %g", tolerance)
 	}
+	mRecommends.Inc()
 	type scored struct {
 		cfg   NodeConfig
 		watts float64 // predicted node power at the operating point

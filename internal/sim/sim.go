@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/hw"
 	"repro/internal/power"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -195,11 +196,16 @@ func (r *Result) Throughput() float64 {
 	return float64(len(r.Nodes)) / r.Time
 }
 
+// mRuns counts analytic simulator executions (telemetry).
+var mRuns = telemetry.Default.Counter("clip_sim_runs_total",
+	"analytic bulk-synchronous simulation runs")
+
 // Run simulates app on cluster under cfg.
 func Run(cl *hw.Cluster, app *workload.Spec, cfg Config) (*Result, error) {
 	if err := cfg.Validate(cl, app); err != nil {
 		return nil, err
 	}
+	mRuns.Inc()
 	spec := cl.Spec()
 	iters := app.Iterations
 	if cfg.MaxIterations > 0 && cfg.MaxIterations < iters {

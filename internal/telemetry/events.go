@@ -1,0 +1,147 @@
+package telemetry
+
+import "sync"
+
+// Event kinds recorded by the built-in instrumentation.
+const (
+	// KindSchedule is a cluster-level scheduling decision made by
+	// core.CLIP (one per Schedule call, cache hits included).
+	KindSchedule = "schedule"
+	// KindRebalance is a variability-aware budget redistribution made by
+	// the coordinator (§III-B2), carrying the per-node budgets.
+	KindRebalance = "rebalance"
+)
+
+// Event is one entry of the decision provenance log: enough context to
+// trace a scheduling outcome back to the power budget and scalability
+// class that produced it (the axes of the paper's Figs. 8–9 and
+// Table I). Fields that do not apply to a kind are zero and omitted
+// from JSON.
+type Event struct {
+	// Seq is the 1-based position of the event in the run's full stream
+	// (it keeps counting even when the ring buffer drops old events).
+	Seq uint64 `json:"seq"`
+	// Kind discriminates the event (KindSchedule, KindRebalance).
+	Kind string `json:"kind"`
+	// App is the application the decision concerns.
+	App string `json:"app,omitempty"`
+	// BoundWatts is the cluster power bound the decision was made under.
+	BoundWatts float64 `json:"bound_watts,omitempty"`
+	// Class is the scalability class of the profiled application
+	// (linear / logarithmic / parabolic — the paper's Table I axis).
+	Class string `json:"class,omitempty"`
+	// NP is the predicted concurrency inflection point.
+	NP int `json:"np,omitempty"`
+	// Nodes, Cores and Sockets describe the chosen configuration.
+	Nodes   int `json:"nodes,omitempty"`
+	Cores   int `json:"cores,omitempty"`
+	Sockets int `json:"sockets,omitempty"`
+	// Affinity is the thread↔socket placement (compact/scatter).
+	Affinity string `json:"affinity,omitempty"`
+	// CPUWatts / MemWatts are the recommended per-node budget split.
+	CPUWatts float64 `json:"cpu_watts,omitempty"`
+	MemWatts float64 `json:"mem_watts,omitempty"`
+	// PredTimeS is the predicted cluster per-iteration time in seconds.
+	PredTimeS float64 `json:"pred_time_s,omitempty"`
+	// Coordinated is true when variability-aware re-balancing ran.
+	Coordinated bool `json:"coordinated,omitempty"`
+	// CacheHit is true when the decision was served from the memoized
+	// decision cache rather than recomputed.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// PerNode carries the redistributed budgets of a rebalance event.
+	PerNode []NodeBudget `json:"per_node,omitempty"`
+}
+
+// NodeBudget is one node's share in a rebalance event.
+type NodeBudget struct {
+	Node     int     `json:"node"`
+	CPUWatts float64 `json:"cpu_watts"`
+	MemWatts float64 `json:"mem_watts"`
+}
+
+// DefaultEventCapacity bounds the event ring buffer: long sweeps keep
+// the most recent window instead of growing without bound. The total
+// appended count is still exact (Total / Dropped).
+const DefaultEventCapacity = 4096
+
+// EventLog is a bounded, concurrency-safe ring buffer of Events. The
+// zero value is ready to use with DefaultEventCapacity.
+type EventLog struct {
+	mu    sync.Mutex
+	cap   int
+	buf   []Event // ring storage, len(buf) <= cap
+	start int     // index of the oldest event when the ring is full
+	total uint64  // events ever appended
+}
+
+// SetCapacity resizes the ring (minimum 1), keeping the newest events.
+func (l *EventLog) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur := l.snapshotLocked()
+	if len(cur) > n {
+		cur = cur[len(cur)-n:]
+	}
+	l.cap = n
+	l.buf = cur
+	l.start = 0
+}
+
+// Append adds an event, stamping its Seq, evicting the oldest entry
+// when the ring is full.
+func (l *EventLog) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cap == 0 {
+		l.cap = DefaultEventCapacity
+	}
+	l.total++
+	e.Seq = l.total
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.start] = e
+	l.start = (l.start + 1) % len(l.buf)
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked()
+}
+
+// snapshotLocked copies the ring in order; callers must hold l.mu.
+func (l *EventLog) snapshotLocked() []Event {
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.start:]...)
+	out = append(out, l.buf[:l.start]...)
+	return out
+}
+
+// Total returns the number of events ever appended.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Dropped returns how many appended events have been evicted.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total - uint64(len(l.buf))
+}
+
+// reset clears the log (test support, via Registry.Reset).
+func (l *EventLog) reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf = nil
+	l.start = 0
+	l.total = 0
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with one of everything, with
+// deterministic values, for the exposition-format tests.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("clip_schedules_total", "cluster-level scheduling decisions").Add(7)
+	r.Counter(Label("clip_by_class_total", "class", "linear"), "decisions by class").Add(4)
+	r.Counter(Label("clip_by_class_total", "class", "parabolic"), "decisions by class").Add(3)
+	r.Gauge(Label("clip_node_budget_cpu_watts", "node", "0"), "per-node CPU budget").Set(87.5)
+	r.Gauge(Label("clip_node_budget_cpu_watts", "node", "1"), "per-node CPU budget").Set(92.25)
+	h := r.Histogram("clip_schedule_seconds", "decision latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.5)
+	r.Events().Append(Event{
+		Kind: KindSchedule, App: "sp-mz.C", BoundWatts: 1200, Class: "parabolic",
+		NP: 13, Nodes: 8, Cores: 12, Sockets: 1, Affinity: "compact",
+		CPUWatts: 120, MemWatts: 30, PredTimeS: 0.42, CacheHit: false,
+	})
+	r.Events().Append(Event{
+		Kind: KindRebalance, App: "sp-mz.C", BoundWatts: 1200, Coordinated: true,
+		PerNode: []NodeBudget{{Node: 0, CPUWatts: 118, MemWatts: 30}, {Node: 1, CPUWatts: 122, MemWatts: 30}},
+	})
+	return r
+}
+
+// TestPrometheusGolden pins the exact Prometheus text exposition:
+// families sorted, HELP/TYPE headers, labelled series, histogram
+// bucket/sum/count expansion.
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP clip_by_class_total decisions by class
+# TYPE clip_by_class_total counter
+clip_by_class_total{class="linear"} 4
+clip_by_class_total{class="parabolic"} 3
+# HELP clip_node_budget_cpu_watts per-node CPU budget
+# TYPE clip_node_budget_cpu_watts gauge
+clip_node_budget_cpu_watts{node="0"} 87.5
+clip_node_budget_cpu_watts{node="1"} 92.25
+# HELP clip_schedule_seconds decision latency
+# TYPE clip_schedule_seconds histogram
+clip_schedule_seconds_bucket{le="0.001"} 1
+clip_schedule_seconds_bucket{le="0.01"} 2
+clip_schedule_seconds_bucket{le="+Inf"} 3
+clip_schedule_seconds_sum 0.5025
+clip_schedule_seconds_count 3
+# HELP clip_schedules_total cluster-level scheduling decisions
+# TYPE clip_schedules_total counter
+clip_schedules_total 7
+`
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestJSONSnapshot checks the JSON exposition round-trips and carries
+// the decision events with their provenance fields.
+func TestJSONSnapshot(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if s.Counters["clip_schedules_total"] != 7 {
+		t.Errorf("counter lost in JSON: %v", s.Counters)
+	}
+	if s.Gauges[`clip_node_budget_cpu_watts{node="1"}`] != 92.25 {
+		t.Errorf("gauge lost in JSON: %v", s.Gauges)
+	}
+	if len(s.Events) != 2 || s.EventsTotal != 2 {
+		t.Fatalf("events = %d (total %d), want 2", len(s.Events), s.EventsTotal)
+	}
+	ev := s.Events[0]
+	if ev.Kind != KindSchedule || ev.App != "sp-mz.C" || ev.Class != "parabolic" || ev.NP != 13 {
+		t.Errorf("schedule event mangled: %+v", ev)
+	}
+	if rb := s.Events[1]; rb.Kind != KindRebalance || len(rb.PerNode) != 2 {
+		t.Errorf("rebalance event mangled: %+v", rb)
+	}
+	// The raw text must render +Inf buckets as a string.
+	if !strings.Contains(buf.String(), `"le": "+Inf"`) && !strings.Contains(buf.String(), `"le":"+Inf"`) {
+		t.Errorf("+Inf bucket not rendered as string:\n%s", buf.String())
+	}
+}
+
+// TestHTTPEndpoints drives the live HTTP surface the -telemetry flag
+// mounts: /metrics serves Prometheus text, /telemetry.json serves the
+// JSON snapshot.
+func TestHTTPEndpoints(t *testing.T) {
+	srv := httptest.NewServer(Handler(goldenRegistry()))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type = %s", ctype)
+	}
+	if !strings.Contains(body, "clip_schedules_total 7") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, ctype = get("/telemetry.json")
+	if ctype != "application/json" {
+		t.Errorf("/telemetry.json content type = %s", ctype)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Errorf("/telemetry.json invalid: %v", err)
+	}
+
+	if body, _ = get("/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index missing pointers:\n%s", body)
+	}
+}
+
+// TestServe covers the ephemeral-port server used by the binaries.
+func TestServe(t *testing.T) {
+	srv, addr, err := Serve("127.0.0.1:0", goldenRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "clip_schedules_total") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}

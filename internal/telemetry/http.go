@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Handler returns an HTTP handler exposing the registry:
+//
+//	/metrics         Prometheus text exposition (scrape target)
+//	/telemetry.json  full JSON snapshot, decision events included
+//	/                a plain-text index of the two
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteJSON(w)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "CLIP telemetry")
+		fmt.Fprintln(w, "  /metrics         Prometheus text format")
+		fmt.Fprintln(w, "  /telemetry.json  JSON snapshot with decision events")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":9090",
+// "127.0.0.1:0") in a background goroutine. It returns the server (so
+// the caller can Close it) and the bound address, which is useful when
+// addr requested an ephemeral port.
+func Serve(addr string, r *Registry) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}

@@ -21,7 +21,7 @@ go build -o "$TMP/clipbench" ./cmd/clipbench
 
 wall_ms() {
     start=$(date +%s%N)
-    "$TMP/clipbench" -exp all -parallel "$1" > /dev/null
+    "$TMP/clipbench" -exp all -parallel "$1" -telemetry-out '' > /dev/null
     end=$(date +%s%N)
     echo $(( (end - start) / 1000000 ))
 }
