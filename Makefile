@@ -2,7 +2,7 @@
 #
 #   make build   — compile everything
 #   make test    — tier-1: the full test suite
-#   make check   — tier-2: build + vet + race-enabled tests + docs lint
+#   make check   — tier-2: build + vet + race tests + bench smoke + docs lint
 #   make docs    — gofmt + vet + godoc-coverage lint (cmd/doclint)
 #   make bench   — hot-path benchmarks + suite wall time -> BENCH_results.json
 #   make suite   — regenerate every paper artifact (parallel runner)
@@ -22,7 +22,9 @@ test:
 
 check:
 	$(GO) build ./...
+	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	$(MAKE) docs
 
 docs:

@@ -6,6 +6,7 @@
 package repro
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/jobsched"
 	"repro/internal/mlr"
 	"repro/internal/perfmodel"
 	"repro/internal/plan"
@@ -195,6 +197,61 @@ func BenchmarkOptimalSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, err := plan.Execute(cl, app, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimalSearchLarge stresses the branch-and-bound search at
+// cluster scale: 64 nodes multiply the candidate grid and the cost of
+// every evaluation.
+func BenchmarkOptimalSearchLarge(b *testing.B) {
+	cl := hw.NewCluster(64, hw.HaswellSpec(), 0, 1)
+	app := workload.SPMZ()
+	opt := &baseline.Optimal{MemSteps: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := opt.Plan(cl, app, 9600); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	throughputOnce  sync.Once
+	throughputSched *jobsched.Scheduler
+	throughputTrace []jobsched.Job
+)
+
+// BenchmarkJobschedThroughput drives the multi-job runtime through a
+// deterministic 1000-job trace on a 16-node cluster — deep queues,
+// backfill and power reallocation on every event.
+func BenchmarkJobschedThroughput(b *testing.B) {
+	throughputOnce.Do(func() {
+		cl := hw.NewCluster(16, hw.HaswellSpec(), 0.02, 7)
+		clip, err := core.New(cl)
+		if err != nil {
+			panic(err)
+		}
+		s, err := jobsched.New(cl, clip, jobsched.Config{
+			Bound: 4200, Policy: jobsched.Backfill, Reallocate: true})
+		if err != nil {
+			panic(err)
+		}
+		throughputSched = s
+		apps := []*workload.Spec{workload.CoMD(), workload.SPMZ(),
+			workload.LUMZ(), workload.TeaLeaf(), workload.AMG()}
+		r := rng.New(3)
+		t := 0.0
+		for i := 0; i < 1000; i++ {
+			t += r.Range(0, 60)
+			throughputTrace = append(throughputTrace, jobsched.Job{
+				ID: fmt.Sprintf("j%04d", i), App: apps[i%len(apps)], Arrival: t})
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := throughputSched.Run(throughputTrace); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,6 +9,7 @@
 //	clipbench -exp all -parallel 4
 //	clipbench -exp all -telemetry :9090          # live /metrics while running
 //	clipbench -exp fig8 -telemetry-out tele.json # end-of-run report path
+//	clipbench -exp optimal -cpuprofile cpu.pprof # profile the run
 //
 // Experiments run concurrently from a bounded worker pool (-parallel,
 // default GOMAXPROCS) but their reports are flushed in order, so the
@@ -18,39 +19,66 @@
 // (JSON: schedule-decision events, cache hit/miss counters, per-node
 // budget gauges, per-experiment wall times) to -telemetry-out, and can
 // serve the same data live in Prometheus text format on -telemetry.
+//
+// For performance work, -cpuprofile and -memprofile write pprof
+// profiles of the run (`go tool pprof <binary> cpu.pprof`); see the
+// "Performance" section of the README for the workflow.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run executes the CLI; deferred cleanups (profile stops, telemetry
+// server shutdown) must complete before the process exits, so the exit
+// code is returned rather than os.Exit'd mid-stack.
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	list := flag.Bool("list", false, "list available experiments")
 	svgDir := flag.String("svg", "", "also write SVG figures into this directory")
 	parallel := flag.Int("parallel", 0, "worker count for the suite and inner sweeps (0 = GOMAXPROCS, 1 = serial)")
 	teleAddr := flag.String("telemetry", "", "serve live telemetry over HTTP on this address while the run is in progress (e.g. :9090; /metrics, /telemetry.json)")
 	teleOut := flag.String("telemetry-out", "TELEMETRY_report.json", "write the end-of-run telemetry report (JSON) to this file; empty disables")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-run, after GC) to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	if *teleAddr != "" {
 		srv, addr, err := telemetry.Serve(*teleAddr, telemetry.Default)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "clipbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "clipbench: telemetry live on http://%s/metrics\n", addr)
@@ -61,7 +89,7 @@ func main() {
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "clipbench:", err)
-			os.Exit(1)
+			return 1
 		}
 		ctx.FigureDir = *svgDir
 	}
@@ -79,7 +107,7 @@ func main() {
 	for _, id := range ids {
 		if _, ok := bench.ByID(id); !ok {
 			fmt.Fprintf(os.Stderr, "clipbench: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+			return 2
 		}
 	}
 	err := bench.RunSuite(ctx, os.Stdout, ids)
@@ -88,8 +116,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "clipbench: telemetry report:", werr)
 		}
 	}
+	if *memProfile != "" {
+		f, merr := os.Create(*memProfile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", merr)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "clipbench:", merr)
+			return 1
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "clipbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -128,14 +128,14 @@ func (co *Coordinated) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (
 
 	// Application-specific memory demand, measured with a short
 	// all-core probe (Coordinated profiles power, not scalability).
-	probe, err := sim.Run(cl, app, sim.Config{
+	probe, err := sim.EvalTime(cl, app, sim.Config{
 		Nodes: 1, CoresPerNode: cores, Affinity: baselineAffinity,
 		MaxIterations: maxInt(1, app.ProfileIterations),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("coordinated: probe: %w", err)
 	}
-	mem := math.Min(probe.Nodes[0].MemPower+2, float64(sockets)*spec.MemMaxPower)
+	mem := math.Min(probe.MemPower0+2, float64(sockets)*spec.MemMaxPower)
 
 	// Application-specific floor: the acceptable lower bound at full
 	// concurrency.
@@ -159,73 +159,6 @@ func (co *Coordinated) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (
 		PerNode:  plan.UniformBudgets(n, power.Budget{CPU: cpu, Mem: mem}),
 		Notes:    fmt.Sprintf("app floor=%.0fW mem=%.0fW nodes=%d", floor, mem, n),
 	}, nil
-}
-
-// Optimal exhaustively searches node counts, core counts, affinities
-// and CPU/DRAM splits with the real simulator. It is the oracle CLIP is
-// measured against; no online scheduler could afford this search on
-// real hardware. The search covers uniform per-node budgets on the
-// first N nodes, so on clusters with manufacturing variability CLIP's
-// node selection and inter-node coordination can legitimately exceed
-// 100 % of this oracle.
-type Optimal struct {
-	// MemSteps is the number of DRAM split candidates (default 6).
-	MemSteps int
-}
-
-var _ plan.Method = (*Optimal)(nil)
-
-// Name implements plan.Method.
-func (*Optimal) Name() string { return "Optimal" }
-
-// Plan implements plan.Method.
-func (o *Optimal) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (*plan.Plan, error) {
-	spec := cl.Spec()
-	steps := o.MemSteps
-	if steps <= 0 {
-		steps = 6
-	}
-	var best *plan.Plan
-	bestTime := math.Inf(1)
-	for _, nNodes := range app.AllowedProcCounts(cl.NumNodes()) {
-		perNode := bound / float64(nNodes)
-		for cores := 1; cores <= spec.Cores(); cores++ {
-			for _, aff := range []workload.Affinity{workload.Compact, workload.Scatter} {
-				sockets := socketsFor(spec, cores, aff)
-				memLo := float64(sockets) * spec.MemBasePower
-				memHi := math.Min(float64(sockets)*spec.MemMaxPower, perNode-1)
-				if memHi <= memLo {
-					continue
-				}
-				for s := 0; s < steps; s++ {
-					mem := memLo + (memHi-memLo)*float64(s)/float64(steps-1)
-					cpu := perNode - mem
-					if cpu <= 0 {
-						continue
-					}
-					p := &plan.Plan{
-						NodeIDs:  plan.FirstN(nNodes),
-						Cores:    cores,
-						Affinity: aff,
-						PerNode:  plan.UniformBudgets(nNodes, power.Budget{CPU: cpu, Mem: mem}),
-					}
-					res, err := plan.Execute(cl, app, p)
-					if err != nil {
-						return nil, err
-					}
-					if res.Time < bestTime {
-						bestTime = res.Time
-						p.Notes = fmt.Sprintf("exhaustive best t=%.2fs", res.Time)
-						best = p
-					}
-				}
-			}
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("optimal: no feasible configuration under %.1f W", bound)
-	}
-	return best, nil
 }
 
 // socketsFor mirrors thread placement (see sim).

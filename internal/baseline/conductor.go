@@ -53,14 +53,14 @@ func (c *Conductor) TimeToSolution(cl *hw.Cluster, app *workload.Spec, bound flo
 	spec := cl.Spec()
 
 	// Node count like Coordinated: everything that fits the floor.
-	probe, err := sim.Run(cl, app, sim.Config{
+	probe, err := sim.EvalTime(cl, app, sim.Config{
 		Nodes: 1, CoresPerNode: spec.Cores(), Affinity: workload.Scatter,
 		MaxIterations: 1,
 	})
 	if err != nil {
 		return nil, err
 	}
-	mem := math.Min(probe.Nodes[0].MemPower+2, float64(spec.Sockets)*spec.MemMaxPower)
+	mem := math.Min(probe.MemPower0+2, float64(spec.Sockets)*spec.MemMaxPower)
 	floor := power.CPUPower(spec, spec.Cores(), spec.Sockets, spec.FMin(), 1.0) + mem
 	nodes := cl.NumNodes()
 	if bound < floor*float64(nodes) {
@@ -90,7 +90,9 @@ func (c *Conductor) TimeToSolution(cl *hw.Cluster, app *workload.Spec, bound flo
 				Capped: true, Budget: power.Budget{CPU: cpu, Mem: memW},
 				MaxIterations: trialIters,
 			}
-			res, err := sim.Run(cl, app, cfg)
+			// Trials only need the runtime figures; score them on the
+			// allocation-free fast path.
+			res, err := sim.EvalTime(cl, app, cfg)
 			if err != nil {
 				return nil, err
 			}

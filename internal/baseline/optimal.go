@@ -1,0 +1,375 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Telemetry: how much work the oracle's search performs versus how much
+// branch-and-bound pruning avoids. Pruned counts are in units of grid
+// candidates that were never evaluated.
+var (
+	mOptCandidates = telemetry.Default.Counter("clip_optimal_candidates_total",
+		"candidate configurations scored by the Optimal oracle")
+	mOptPruned = telemetry.Default.Counter("clip_optimal_pruned_total",
+		"candidate configurations skipped by branch-and-bound pruning")
+)
+
+// Optimal exhaustively searches node counts, core counts, affinities
+// and CPU/DRAM splits with the real simulator. It is the oracle CLIP is
+// measured against; no online scheduler could afford this search on
+// real hardware. The search covers uniform per-node budgets on the
+// first N nodes, so on clusters with manufacturing variability CLIP's
+// node selection and inter-node coordination can legitimately exceed
+// 100 % of this oracle.
+//
+// Candidates are scored on the allocation-free fast path
+// (plan.EvalTime) and whole (nodes, cores, affinity) subtrees are
+// skipped when an analytic lower bound on their runtime already exceeds
+// the incumbent. The lower bound only ever drops cost terms
+// (synchronisation, contention, NUMA inflation, DRAM throttling), so
+// pruning never discards a candidate that ties or beats the incumbent:
+// the returned plan is identical to the unpruned grid search's,
+// including tie-breaks.
+type Optimal struct {
+	// MemSteps is the number of DRAM split candidates (default 6;
+	// 1 means the midpoint of the feasible DRAM range).
+	MemSteps int
+	// Workers, when > 1, fans the per-node-count subtrees out over a
+	// bounded worker pool. Each subtree searches against its own local
+	// incumbent and the results are reduced in node-count order with
+	// the same strict-< tie-break as the serial loop, so the chosen
+	// plan is byte-identical to a serial search.
+	Workers int
+	// RefineIters, when > 0, polishes the winning CPU/DRAM split with
+	// that many golden-section iterations over the grid bracket around
+	// the winner (the split is unimodal: more DRAM power first relieves
+	// bandwidth throttling, then starves the CPU domain). The refined
+	// plan keeps the winner's node count, concurrency and affinity; 0
+	// keeps the raw grid winner, matching the historical output
+	// byte-for-byte.
+	RefineIters int
+}
+
+var _ plan.Method = (*Optimal)(nil)
+
+// Name implements plan.Method.
+func (*Optimal) Name() string { return "Optimal" }
+
+// pruneMargin keeps branch-and-bound robust against floating-point
+// rounding: a subtree is pruned only when its lower bound exceeds the
+// incumbent by more than this relative slack, so bound-versus-simulator
+// disagreements at the last ulp can never change the winner.
+const pruneMargin = 1e-9
+
+// affinities is the search order of the thread mappings (fixed: it is
+// part of the tie-break).
+var affinities = [2]workload.Affinity{workload.Compact, workload.Scatter}
+
+// optSearch carries one Plan invocation's immutable search inputs.
+type optSearch struct {
+	cl    *hw.Cluster
+	app   *workload.Spec
+	spec  *hw.NodeSpec
+	bound float64
+	steps int
+	iters float64
+}
+
+// subtreeBest is the outcome of searching one node-count subtree
+// against an incumbent: the best candidate found there, if any, plus
+// the grid geometry needed to bracket a later refinement pass.
+type subtreeBest struct {
+	ok    bool
+	time  float64
+	cand  plan.Candidate
+	memLo float64
+	memHi float64
+	step  int // winning grid index within [memLo, memHi]
+	err   error
+}
+
+// Plan implements plan.Method.
+func (o *Optimal) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (*plan.Plan, error) {
+	steps := o.MemSteps
+	if steps <= 0 {
+		steps = 6
+	}
+	s := &optSearch{cl: cl, app: app, spec: cl.Spec(), bound: bound, steps: steps, iters: float64(app.Iterations)}
+	counts := app.AllowedProcCounts(cl.NumNodes())
+
+	// Candidates always run on the first N nodes, and the frequency a
+	// cap admits grows as efficiency coefficients shrink — so the
+	// prefix minimum of PowerEff bounds any participant's frequency
+	// from above for the lower-bound computation.
+	effMin := make([]float64, cl.NumNodes())
+	m := math.Inf(1)
+	for i, nd := range cl.Nodes {
+		m = math.Min(m, nd.PowerEff)
+		effMin[i] = m
+	}
+
+	best := subtreeBest{time: math.Inf(1)}
+	if o.Workers > 1 && len(counts) > 1 {
+		// Deterministic fan-out: subtrees search independent local
+		// incumbents (slightly less pruning than the serial shared
+		// incumbent, but order-independent), then an ordered reduction
+		// applies the exact serial tie-break.
+		results := make([]subtreeBest, len(counts))
+		workers := o.Workers
+		if workers > len(counts) {
+			workers = len(counts)
+		}
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for g := 0; g < workers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					local := math.Inf(1)
+					results[i] = s.searchSubtree(counts[i], effMin[counts[i]-1], &local)
+				}
+			}()
+		}
+		for i := range counts {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.ok && r.time < best.time {
+				best = r
+			}
+		}
+	} else {
+		incumbent := math.Inf(1)
+		for _, nNodes := range counts {
+			r := s.searchSubtree(nNodes, effMin[nNodes-1], &incumbent)
+			if r.err != nil {
+				return nil, r.err
+			}
+			if r.ok && r.time < best.time {
+				best = r
+			}
+		}
+	}
+	if !best.ok {
+		return nil, fmt.Errorf("optimal: no feasible configuration under %.1f W", bound)
+	}
+	if o.RefineIters > 0 {
+		if err := s.refine(&best, o.RefineIters); err != nil {
+			return nil, err
+		}
+	}
+	p := best.cand.Materialize()
+	p.Notes = fmt.Sprintf("exhaustive best t=%.2fs", best.time)
+	return p, nil
+}
+
+// searchSubtree scans every (cores, affinity, split) candidate at one
+// node count, pruning cells whose lower bound cannot beat the
+// incumbent. The incumbent absorbs every evaluation; the returned best
+// is local to the subtree so results reduce deterministically.
+func (s *optSearch) searchSubtree(nNodes int, effMin float64, incumbent *float64) subtreeBest {
+	spec := s.spec
+	r := subtreeBest{time: math.Inf(1)}
+	perNode := s.bound / float64(nNodes)
+	shard := 1.0 / float64(nNodes)
+	if s.app.Scaling == workload.WeakScaling {
+		shard = 1
+	}
+	comm := sim.CommTimeFor(s.cl, s.app, nNodes)
+
+	// Subtree bound: every core active at the ladder maximum with
+	// uncapped bandwidth — no candidate here can be faster.
+	bwTop := math.Min(float64(spec.Cores())*sim.CoreBW(spec, spec.FMax(), s.app.BWFactor()),
+		float64(spec.Sockets)*spec.SocketMemBW)
+	if lb := s.lowerBound(spec.Cores(), shard, comm, spec.FMax(), bwTop); lb > *incumbent*(1+pruneMargin) {
+		mOptPruned.Add(s.gridSize(perNode))
+		return r
+	}
+
+	for cores := 1; cores <= spec.Cores(); cores++ {
+		for _, aff := range affinities {
+			sockets := socketsFor(spec, cores, aff)
+			memLo := float64(sockets) * spec.MemBasePower
+			memHi := math.Min(float64(sockets)*spec.MemMaxPower, perNode-1)
+			if memHi <= memLo {
+				continue
+			}
+			// Cell bound: the most efficient participating node under
+			// the fattest possible CPU share and DRAM allowance.
+			fBest, _, _ := power.EffectiveFreq(spec, cores, sockets, perNode-memLo, effMin)
+			bwBest := math.Min(math.Min(float64(cores)*sim.CoreBW(spec, fBest, s.app.BWFactor()),
+				float64(sockets)*spec.SocketMemBW), power.MemBandwidthCap(spec, sockets, memHi))
+			bound := math.Min(*incumbent, r.time)
+			if lb := s.lowerBound(cores, shard, comm, fBest, bwBest); lb > bound*(1+pruneMargin) {
+				mOptPruned.Add(uint64(s.steps))
+				continue
+			}
+			for st := 0; st < s.steps; st++ {
+				mem := gridMem(memLo, memHi, st, s.steps)
+				cpu := perNode - mem
+				if cpu <= 0 {
+					continue
+				}
+				cand := plan.Candidate{Nodes: nNodes, Cores: cores, Affinity: aff,
+					PerNode: power.Budget{CPU: cpu, Mem: mem}}
+				mOptCandidates.Inc()
+				ev, err := plan.EvalTime(s.cl, s.app, cand)
+				if err != nil {
+					r.err = err
+					return r
+				}
+				if ev.Time < *incumbent {
+					*incumbent = ev.Time
+				}
+				if ev.Time < r.time {
+					r = subtreeBest{ok: true, time: ev.Time, cand: cand,
+						memLo: memLo, memHi: memHi, step: st}
+				}
+			}
+		}
+	}
+	return r
+}
+
+// lowerBound returns an optimistic runtime for any candidate in a
+// search region executing cores threads at frequency f with admitted
+// bandwidth bwCeil: per-phase compute plus non-overlappable memory
+// transfer plus communication, dropping every term that can only slow
+// a real candidate down (synchronisation, contention, odd-concurrency
+// penalty, NUMA traffic inflation, cap derating below f, bandwidth
+// throttling below bwCeil).
+func (s *optSearch) lowerBound(cores int, shard, comm, f, bwCeil float64) float64 {
+	t := comm
+	for _, ph := range s.app.Phases {
+		tComp := ph.SerialCycles/f + (ph.ParallelCycles*shard)/(float64(cores)*f)
+		lb := tComp
+		// The overlap credit grows with compute time, so crediting the
+		// *under*-estimated tComp keeps the bound sound — unless a
+		// phase overlaps more than 1:1, where the credit must be
+		// dropped entirely.
+		if ph.MemoryBytes > 0 && bwCeil > 0 && ph.Overlap < 1 {
+			if m := ph.MemoryBytes*shard/bwCeil - ph.Overlap*tComp; m > 0 {
+				lb = tComp + m
+			}
+		}
+		t += lb
+	}
+	return t * s.iters
+}
+
+// gridSize counts the grid candidates of one node-count subtree (for
+// pruning accounting): feasible (cores, affinity) cells × DRAM steps.
+func (s *optSearch) gridSize(perNode float64) uint64 {
+	var n uint64
+	for cores := 1; cores <= s.spec.Cores(); cores++ {
+		for _, aff := range affinities {
+			sockets := socketsFor(s.spec, cores, aff)
+			memLo := float64(sockets) * s.spec.MemBasePower
+			memHi := math.Min(float64(sockets)*s.spec.MemMaxPower, perNode-1)
+			if memHi <= memLo {
+				continue
+			}
+			n += uint64(s.steps)
+		}
+	}
+	return n
+}
+
+// gridMem returns DRAM grid point s of steps over [lo, hi]. A
+// single-step grid samples the midpoint (the historical formula divided
+// zero by zero and produced NaN budgets).
+func gridMem(lo, hi float64, s, steps int) float64 {
+	if steps <= 1 {
+		return lo + (hi-lo)/2
+	}
+	return lo + (hi-lo)*float64(s)/float64(steps-1)
+}
+
+// invPhi is the golden-section ratio 1/φ.
+const invPhi = 0.6180339887498949
+
+// refine polishes the winner's CPU/DRAM split with golden-section
+// iterations over the grid bracket around the winning step, keeping its
+// node count, concurrency and affinity. The refined winner is adopted
+// only if it strictly beats the grid winner, so refinement can only
+// improve the plan.
+func (s *optSearch) refine(b *subtreeBest, iters int) error {
+	perNode := s.bound / float64(b.cand.Nodes)
+	lo, hi := b.memLo, b.memHi
+	if b.step > 0 {
+		lo = gridMem(b.memLo, b.memHi, b.step-1, s.steps)
+	}
+	if b.step < s.steps-1 {
+		hi = gridMem(b.memLo, b.memHi, b.step+1, s.steps)
+	}
+	eval := func(mem float64) (float64, error) {
+		cpu := perNode - mem
+		if cpu <= 0 {
+			return math.Inf(1), nil
+		}
+		mOptCandidates.Inc()
+		ev, err := plan.EvalTime(s.cl, s.app, plan.Candidate{
+			Nodes: b.cand.Nodes, Cores: b.cand.Cores, Affinity: b.cand.Affinity,
+			PerNode: power.Budget{CPU: cpu, Mem: mem}})
+		if err != nil {
+			return 0, err
+		}
+		return ev.Time, nil
+	}
+	a, c := lo, hi
+	x1 := c - invPhi*(c-a)
+	x2 := a + invPhi*(c-a)
+	f1, err := eval(x1)
+	if err != nil {
+		return err
+	}
+	f2, err := eval(x2)
+	if err != nil {
+		return err
+	}
+	bestMem, bestTime := x1, f1
+	if f2 < bestTime {
+		bestMem, bestTime = x2, f2
+	}
+	for i := 0; i < iters; i++ {
+		if f1 <= f2 {
+			c, x2, f2 = x2, x1, f1
+			x1 = c - invPhi*(c-a)
+			if f1, err = eval(x1); err != nil {
+				return err
+			}
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(c-a)
+			if f2, err = eval(x2); err != nil {
+				return err
+			}
+		}
+		if f1 < bestTime {
+			bestMem, bestTime = x1, f1
+		}
+		if f2 < bestTime {
+			bestMem, bestTime = x2, f2
+		}
+	}
+	if bestTime < b.time {
+		b.time = bestTime
+		b.cand.PerNode = power.Budget{CPU: perNode - bestMem, Mem: bestMem}
+	}
+	return nil
+}

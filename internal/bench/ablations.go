@@ -94,7 +94,7 @@ func runAblPhase(ctx *Context, w io.Writer) error {
 
 	t := trace.NewTable("configuration", "runtime_s", "speedup_vs_uniform")
 	base := sim.Config{Nodes: 1, CoresPerNode: prof.NodeCores, Affinity: prof.Affinity}
-	uniform, err := sim.Run(ctx.Cluster, app, base)
+	uniform, err := sim.EvalTime(ctx.Cluster, app, base)
 	if err != nil {
 		return err
 	}
@@ -106,7 +106,7 @@ func runAblPhase(ctx *Context, w io.Writer) error {
 		}
 		cfg := base
 		cfg.PhaseCores = map[string]int{"exch_qbc": np}
-		res, err := sim.Run(ctx.Cluster, app, cfg)
+		res, err := sim.EvalTime(ctx.Cluster, app, cfg)
 		if err != nil {
 			return err
 		}
@@ -124,11 +124,11 @@ func runAblEven(ctx *Context, w io.Writer) error {
 	app := workload.SPMZ()
 	t := trace.NewTable("cores", "runtime_s", "vs_next_even_%")
 	for n := 7; n <= 15; n += 2 {
-		odd, err := sim.Run(ctx.Cluster, app, sim.Config{Nodes: 1, CoresPerNode: n, Affinity: workload.Compact})
+		odd, err := sim.EvalTime(ctx.Cluster, app, sim.Config{Nodes: 1, CoresPerNode: n, Affinity: workload.Compact})
 		if err != nil {
 			return err
 		}
-		even, err := sim.Run(ctx.Cluster, app, sim.Config{Nodes: 1, CoresPerNode: n + 1, Affinity: workload.Compact})
+		even, err := sim.EvalTime(ctx.Cluster, app, sim.Config{Nodes: 1, CoresPerNode: n + 1, Affinity: workload.Compact})
 		if err != nil {
 			return err
 		}

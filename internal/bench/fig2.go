@@ -49,7 +49,7 @@ func runFig2(ctx *Context, w io.Writer) error {
 		}
 		// Common reference (1 core at the lowest frequency) so the
 		// frequency dimension is visible, as in the paper's figure.
-		refRes, err := sim.Run(ctx.Cluster, a.app, sim.Config{
+		refRes, err := sim.EvalTime(ctx.Cluster, a.app, sim.Config{
 			Nodes: 1, CoresPerNode: 1, Affinity: a.aff, FreqCap: freqs[0],
 		})
 		if err != nil {
@@ -60,7 +60,7 @@ func runFig2(ctx *Context, w io.Writer) error {
 			names[fi] = fmt.Sprintf("S(n)@%.1fGHz", f)
 			series := make([]float64, maxCores)
 			for n := 1; n <= maxCores; n++ {
-				res, err := sim.Run(ctx.Cluster, a.app, sim.Config{
+				res, err := sim.EvalTime(ctx.Cluster, a.app, sim.Config{
 					Nodes: 1, CoresPerNode: n, Affinity: a.aff, FreqCap: f,
 				})
 				if err != nil {

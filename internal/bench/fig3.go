@@ -44,7 +44,7 @@ func runFig3(ctx *Context, w io.Writer) error {
 		}
 		// Shared reference: 2 cores at the highest (unconstraining)
 		// budget, so columns are comparable across budgets.
-		refRes, err := sim.Run(ctx.Cluster, c.app, sim.Config{
+		refRes, err := sim.EvalTime(ctx.Cluster, c.app, sim.Config{
 			Nodes: 1, CoresPerNode: 2, Affinity: c.aff,
 			Capped: true, Budget: power.Budget{CPU: fig3Budgets[len(fig3Budgets)-1], Mem: 40},
 		})
@@ -59,7 +59,7 @@ func runFig3(ctx *Context, w io.Writer) error {
 			names[bi] = fmt.Sprintf("perf@%gW", cpuW)
 			series := make([]float64, 0, len(x))
 			for n := 2; n <= maxCores; n += 2 {
-				res, err := sim.Run(ctx.Cluster, c.app, sim.Config{
+				res, err := sim.EvalTime(ctx.Cluster, c.app, sim.Config{
 					Nodes: 1, CoresPerNode: n, Affinity: c.aff,
 					Capped: true, Budget: power.Budget{CPU: cpuW, Mem: 40},
 				})

@@ -17,13 +17,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
-	"repro/internal/plan"
 	"repro/internal/power"
 	"repro/internal/recommend"
 	"repro/internal/sim"
@@ -44,6 +44,8 @@ var (
 		"highest queue depth observed")
 	gFreeWatts = telemetry.Default.Gauge("clip_jobsched_free_watts",
 		"unallocated power after the most recent scheduler event")
+	mEventSeconds = telemetry.Default.Histogram("clip_jobsched_event_seconds",
+		"wall-clock latency of scheduler event handlers (arrivals, completions, bound changes)", nil)
 )
 
 // Job is one unit of work submitted to the scheduler.
@@ -180,18 +182,44 @@ type runningJob struct {
 	completion *des.Event
 	finishAt   float64 // scheduled completion time
 	powerUsed  float64 // total managed watts held by this job
+	// sub is the job's fixed subcluster view, built once at start and
+	// reused by every mid-run retune preview.
+	sub *hw.Cluster
+}
+
+// queueEntry is one indexed queue slot: started entries are tombstoned
+// in place so dispatch scans never revisit them, instead of shifting
+// the whole tail on every start.
+type queueEntry struct {
+	job     Job
+	started bool
 }
 
 // schedState is the mutable state of one Run.
+//
+// The free-node set and free-watts accumulator are maintained
+// incrementally on job start/finish (sorted-slice merge and subtract),
+// the blocked head's shadow time is cached until a completion event
+// invalidates it, and the free-node subcluster view is cached by a
+// free-set version stamp — so a dispatch attempt costs no per-event
+// cluster rescan.
 type schedState struct {
 	s       *Scheduler
 	eng     *des.Engine
-	queue   []Job
+	queue   []queueEntry
+	qhead   int // first possibly-live queue index
+	qlive   int // queued jobs not yet started
 	running map[string]*runningJob
-	freeSet map[int]bool // global node ids
+	free    []int // free global node ids, ascending
 	freeW   float64
 	bound   float64 // current (possibly time-varying) bound
 	stats   *Stats
+	// cached derived state
+	freeVer    uint64 // bumped on every free-set change
+	freeSub    *hw.Cluster
+	freeSubVer uint64
+	shadow     float64
+	shadowOK   bool
 	// power-use integral
 	lastAccount  float64
 	usedIntegral float64
@@ -215,13 +243,13 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 		s:       s,
 		eng:     des.NewEngine(),
 		running: make(map[string]*runningJob),
-		freeSet: make(map[int]bool),
+		free:    make([]int, len(s.Cluster.Nodes)),
 		freeW:   s.Config.Bound,
 		bound:   s.Config.Bound,
 		stats:   &Stats{},
 	}
-	for i := range s.Cluster.Nodes {
-		st.freeSet[i] = true
+	for i := range st.free {
+		st.free[i] = i
 	}
 	for _, bc := range s.Config.BoundSchedule {
 		bc := bc
@@ -246,9 +274,9 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 	if st.failure != nil {
 		return nil, st.failure
 	}
-	if len(st.queue) > 0 || len(st.running) > 0 {
+	if st.qlive > 0 || len(st.running) > 0 {
 		return nil, fmt.Errorf("jobsched: %d queued and %d running jobs never finished",
-			len(st.queue), len(st.running))
+			st.qlive, len(st.running))
 	}
 
 	st.accountPower()
@@ -282,58 +310,133 @@ func (st *schedState) accountPower() {
 
 // arrive enqueues a job and tries to dispatch.
 func (st *schedState) arrive(j Job) {
-	st.queue = append(st.queue, j)
-	gQueuePeak.SetMax(float64(len(st.queue)))
+	start := time.Now()
+	st.queue = append(st.queue, queueEntry{job: j})
+	st.qlive++
+	gQueuePeak.SetMax(float64(st.qlive))
 	st.dispatch()
+	mEventSeconds.Observe(time.Since(start).Seconds())
 }
 
-// dispatch starts as many queued jobs as the policy and resources allow.
+// dispatch starts as many queued jobs as the policy and resources
+// allow. Started entries are tombstoned in place and skipped, so a
+// scan only visits live entries; each successful start rescans from
+// the head (a backfill tightens the shadow window for later
+// candidates).
 func (st *schedState) dispatch() {
 	progress := true
 	for progress {
 		progress = false
-		for qi := 0; qi < len(st.queue); qi++ {
-			if qi > 0 && st.s.Config.Policy == FCFS {
+		head := true // next live entry is the queue head
+		for qi := st.qhead; qi < len(st.queue); qi++ {
+			e := &st.queue[qi]
+			if e.started {
+				continue
+			}
+			if !head && st.s.Config.Policy == FCFS {
 				break // head of queue blocks
 			}
 			// The head may start whenever it fits. A backfilled job
 			// must finish before the next resource release (shadow
 			// time), so the head's earliest start is never delayed.
 			deadline := math.Inf(1)
-			if qi > 0 && st.s.Config.Policy == Backfill {
+			if !head && st.s.Config.Policy == Backfill {
 				deadline = st.shadowTime()
 			}
-			if st.tryStart(st.queue[qi], deadline) {
+			if st.tryStart(e.job, deadline) {
 				mJobsStarted.Inc()
-				st.queue = append(st.queue[:qi], st.queue[qi+1:]...)
+				e.started = true
+				st.qlive--
 				progress = true
 				break
 			}
+			head = false
 		}
+		st.compactQueue()
 	}
-	gQueueDepth.Set(float64(len(st.queue)))
+	gQueueDepth.Set(float64(st.qlive))
 	gFreeWatts.Set(st.freeW)
+}
+
+// compactQueue advances the head index past tombstones and reclaims the
+// dead prefix once it dominates the backing array.
+func (st *schedState) compactQueue() {
+	for st.qhead < len(st.queue) && st.queue[st.qhead].started {
+		st.qhead++
+	}
+	if st.qhead > 64 && st.qhead*2 >= len(st.queue) {
+		n := copy(st.queue, st.queue[st.qhead:])
+		st.queue = st.queue[:n]
+		st.qhead = 0
+	}
 }
 
 // shadowTime returns the earliest scheduled completion among running
 // jobs — the first moment the blocked queue head could acquire more
-// resources.
+// resources. The value is cached until a completion is (re)scheduled
+// or a job finishes, so a backfill pass over a deep queue computes it
+// at most once.
 func (st *schedState) shadowTime() float64 {
-	shadow := math.Inf(1)
-	for _, rj := range st.running {
-		if rj.finishAt < shadow {
-			shadow = rj.finishAt
+	if !st.shadowOK {
+		st.shadow = math.Inf(1)
+		for _, rj := range st.running {
+			if rj.finishAt < st.shadow {
+				st.shadow = rj.finishAt
+			}
 		}
+		st.shadowOK = true
 	}
-	return shadow
+	return st.shadow
+}
+
+// takeFree removes ids (ascending) from the free list.
+func (st *schedState) takeFree(ids []int) {
+	st.freeVer++
+	out := st.free[:0]
+	j := 0
+	for _, id := range st.free {
+		if j < len(ids) && id == ids[j] {
+			j++
+			continue
+		}
+		out = append(out, id)
+	}
+	st.free = out
+}
+
+// returnFree merges ids (ascending) back into the free list.
+func (st *schedState) returnFree(ids []int) {
+	st.freeVer++
+	old := len(st.free)
+	st.free = append(st.free, ids...)
+	i, j, k := old-1, len(ids)-1, len(st.free)-1
+	for j >= 0 {
+		if i >= 0 && st.free[i] > ids[j] {
+			st.free[k] = st.free[i]
+			i--
+		} else {
+			st.free[k] = ids[j]
+			j--
+		}
+		k--
+	}
+}
+
+// freeCluster returns the subcluster view over the free nodes, cached
+// until the free set changes (one version stamp per start/finish).
+func (st *schedState) freeCluster() *hw.Cluster {
+	if st.freeSub == nil || st.freeSubVer != st.freeVer {
+		st.freeSub = subCluster(st.s.Cluster, st.free)
+		st.freeSubVer = st.freeVer
+	}
+	return st.freeSub
 }
 
 // tryStart attempts to place one job on the free nodes with the free
 // power; returns true when the job started. The job is only started
 // when it would complete by deadline (backfill safety window).
 func (st *schedState) tryStart(j Job, deadline float64) bool {
-	free := st.freeIDs()
-	if len(free) == 0 || st.freeW <= 0 {
+	if len(st.free) == 0 || st.freeW <= 0 {
 		return false
 	}
 	prof, pd, err := st.s.CLIP.Predictor(j.App)
@@ -341,7 +444,7 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		st.failure = err
 		return false
 	}
-	sub := subCluster(st.s.Cluster, free)
+	sub := st.freeCluster()
 	co := &coordinator.Coordinator{Cluster: sub}
 	d, err := co.Schedule(j.App, prof, pd, st.freeW)
 	if err != nil {
@@ -354,13 +457,7 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 			return false
 		}
 	}
-
-	// Map subcluster slots back to global node ids.
-	globals := make([]int, 0, len(d.Plan.NodeIDs))
-	for _, slot := range d.Plan.NodeIDs {
-		globals = append(globals, free[slot])
-	}
-	res, err := sim.Run(sub, j.App, d.Plan.SimConfig())
+	res, err := sim.EvalTime(sub, j.App, d.Plan.SimConfig())
 	if err != nil {
 		st.failure = err
 		return false
@@ -369,12 +466,18 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		return false // would delay the queue head past the shadow time
 	}
 
+	// Map subcluster slots back to global node ids (the coordinator
+	// emits slots ascending, and the free list is ascending, so the
+	// globals arrive sorted for the free-list subtract/merge).
+	globals := make([]int, 0, len(d.Plan.NodeIDs))
+	for _, slot := range d.Plan.NodeIDs {
+		globals = append(globals, st.free[slot])
+	}
+
 	st.accountPower()
 	used := d.Plan.TotalBudget()
 	st.freeW -= used
-	for _, id := range globals {
-		delete(st.freeSet, id)
-	}
+	st.takeFree(globals)
 	rj := &runningJob{
 		job: j,
 		result: &JobResult{
@@ -390,6 +493,7 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		itersLeft:  float64(res.Iterations),
 		lastUpdate: st.eng.Now(),
 		powerUsed:  used,
+		sub:        subCluster(st.s.Cluster, globals),
 	}
 	st.running[j.ID] = rj
 	st.scheduleCompletion(rj)
@@ -408,6 +512,7 @@ func (st *schedState) scheduleCompletion(rj *runningJob) {
 	}
 	rj.completion = ev
 	rj.finishAt = st.eng.Now() + rj.itersLeft*rj.iterTime
+	st.shadowOK = false
 }
 
 // progressTo updates a running job's remaining iterations to time now.
@@ -423,19 +528,20 @@ func (rj *runningJob) progressTo(now float64) {
 
 // finish completes a job, frees its resources and dispatches.
 func (st *schedState) finish(rj *runningJob) {
+	start := time.Now()
 	mJobsFinished.Inc()
 	st.accountPower()
 	rj.result.Finish = st.eng.Now()
 	st.stats.Jobs = append(st.stats.Jobs, *rj.result)
 	delete(st.running, rj.job.ID)
+	st.shadowOK = false
 	st.freeW += rj.powerUsed
-	for _, id := range rj.globalIDs {
-		st.freeSet[id] = true
-	}
+	st.returnFree(rj.globalIDs)
 	st.dispatch()
 	if st.s.Config.Reallocate {
 		st.reallocate()
 	}
+	mEventSeconds.Observe(time.Since(start).Seconds())
 }
 
 // reallocate offers surplus power to running jobs (POWsched-style):
@@ -516,15 +622,14 @@ func (st *schedState) applyBoost(rj *runningJob, cfg recommend.NodeConfig) {
 	rj.result.Boosted = true
 }
 
-// previewRetune simulates a running job's fixed configuration under a
-// new per-node budget without committing.
-func (st *schedState) previewRetune(rj *runningJob, b power.Budget) (*sim.Result, error) {
-	sub := subCluster(st.s.Cluster, rj.globalIDs)
-	p := &plan.Plan{
-		NodeIDs: plan.FirstN(len(rj.globalIDs)), Cores: rj.cores, Affinity: rj.affinity,
-		PerNode: plan.UniformBudgets(len(rj.globalIDs), b),
-	}
-	return sim.Run(sub, rj.job.App, p.SimConfig())
+// previewRetune scores a running job's fixed configuration under a new
+// per-node budget without committing, on the allocation-free fast path
+// against the job's cached subcluster view.
+func (st *schedState) previewRetune(rj *runningJob, b power.Budget) (sim.Eval, error) {
+	return sim.EvalTime(rj.sub, rj.job.App, sim.Config{
+		Nodes: len(rj.globalIDs), CoresPerNode: rj.cores, Affinity: rj.affinity,
+		Capped: true, Budget: b,
+	})
 }
 
 // commitRetune adjusts the job's allocation and reschedules completion
@@ -545,6 +650,8 @@ func (st *schedState) commitRetune(rj *runningJob, b power.Budget, iterTime floa
 // Reallocate); a deficit throttles running jobs proportionally until
 // the allocation fits the new bound.
 func (st *schedState) applyBoundChange(watts float64) {
+	start := time.Now()
+	defer func() { mEventSeconds.Observe(time.Since(start).Seconds()) }()
 	st.accountPower()
 	delta := watts - st.bound
 	st.bound = watts
@@ -609,16 +716,6 @@ func shrinkBudget(spec *hw.NodeSpec, rj *runningJob, perNode float64) power.Budg
 		cpu = math.Max(perNode-mem, perNode*0.5)
 	}
 	return power.Budget{CPU: cpu, Mem: mem}
-}
-
-// freeIDs returns the free node ids, sorted.
-func (st *schedState) freeIDs() []int {
-	out := make([]int, 0, len(st.freeSet))
-	for id := range st.freeSet {
-		out = append(out, id)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // subCluster builds a cluster view over the given global node ids

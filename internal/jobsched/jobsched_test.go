@@ -2,10 +2,12 @@ package jobsched
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -492,5 +494,26 @@ func TestBoundScheduleValidation(t *testing.T) {
 	s2 := sched(t, Config{Bound: 1000, BoundSchedule: []BoundChange{{Time: 5, Watts: 0}}})
 	if _, err := s2.Run(jobs(workload.CoMD())); err == nil {
 		t.Error("zero bound accepted")
+	}
+}
+
+// TestEventLatencyTelemetry: scheduler event handlers feed the
+// event-loop latency histogram exposed over the standard Prometheus
+// exposition.
+func TestEventLatencyTelemetry(t *testing.T) {
+	before := mEventSeconds.Count()
+	s := sched(t, Config{Bound: 2000, Policy: Backfill})
+	if _, err := s.Run(jobs(workload.SPMZ(), workload.CoMD(), workload.LUMZ())); err != nil {
+		t.Fatal(err)
+	}
+	if mEventSeconds.Count() == before {
+		t.Error("scheduler events did not observe the latency histogram")
+	}
+	var sb strings.Builder
+	if err := telemetry.Default.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "clip_jobsched_event_seconds") {
+		t.Error("exposition missing clip_jobsched_event_seconds")
 	}
 }

@@ -95,6 +95,52 @@ func (p *Plan) SimConfig() sim.Config {
 	}
 }
 
+// Candidate is a value-type uniform execution configuration: the first
+// Nodes cluster nodes, Cores active cores on each, one power budget
+// shared by every node. It is the currency of search loops — thousands
+// of candidates are scored with EvalTime (no slices, no Plan, no
+// Result) and only the winner is materialized into a full Plan.
+type Candidate struct {
+	// Nodes is the participating node count (node ids 0..Nodes-1).
+	Nodes int
+	// Cores is the active core count per node.
+	Cores int
+	// Affinity is the thread-to-socket mapping.
+	Affinity workload.Affinity
+	// PerNode is the power budget applied uniformly to every node.
+	PerNode power.Budget
+}
+
+// Config converts the candidate into a capped simulator configuration
+// without allocating.
+func (c Candidate) Config() sim.Config {
+	return sim.Config{
+		Nodes:        c.Nodes,
+		CoresPerNode: c.Cores,
+		Affinity:     c.Affinity,
+		Capped:       true,
+		Budget:       c.PerNode,
+	}
+}
+
+// Materialize expands the candidate into a full Plan (allocating the
+// node-id and budget slices); call it once on a search's winner.
+func (c Candidate) Materialize() *Plan {
+	return &Plan{
+		NodeIDs:  FirstN(c.Nodes),
+		Cores:    c.Cores,
+		Affinity: c.Affinity,
+		PerNode:  UniformBudgets(c.Nodes, c.PerNode),
+	}
+}
+
+// EvalTime scores a candidate on the allocation-free simulator fast
+// path. The returned Eval carries exactly the fields a search loop
+// ranks on, bit-identical to Execute on the materialized plan.
+func EvalTime(cl *hw.Cluster, app *workload.Spec, c Candidate) (sim.Eval, error) {
+	return sim.EvalTime(cl, app, c.Config())
+}
+
 // Method is a power-bounded scheduler: given a cluster, an application
 // and a total power budget for the job, produce an execution plan.
 type Method interface {

@@ -117,3 +117,31 @@ func TestNodes(t *testing.T) {
 		t.Error("Nodes() wrong")
 	}
 }
+
+func TestCandidateMatchesExecute(t *testing.T) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0.02, 42)
+	app := workload.SPMZ()
+	cands := []Candidate{
+		{Nodes: 4, Cores: 12, Affinity: workload.Compact, PerNode: power.Budget{CPU: 110, Mem: 18}},
+		{Nodes: 8, Cores: 24, Affinity: workload.Scatter, PerNode: power.Budget{CPU: 90, Mem: 14}},
+		{Nodes: 1, Cores: 6, Affinity: workload.Scatter, PerNode: power.Budget{CPU: 60, Mem: 8}},
+	}
+	for i, c := range cands {
+		ev, err := EvalTime(cl, app, c)
+		if err != nil {
+			t.Fatalf("candidate %d: %v", i, err)
+		}
+		p := c.Materialize()
+		if p.Nodes() != c.Nodes || p.Cores != c.Cores || p.Affinity != c.Affinity {
+			t.Fatalf("candidate %d: materialized plan mismatch", i)
+		}
+		res, err := Execute(cl, app, p)
+		if err != nil {
+			t.Fatalf("candidate %d: %v", i, err)
+		}
+		if ev.Time != res.Time || ev.IterTime != res.IterTime {
+			t.Errorf("candidate %d: EvalTime (%v, %v) != Execute (%v, %v)",
+				i, ev.Time, ev.IterTime, res.Time, res.IterTime)
+		}
+	}
+}

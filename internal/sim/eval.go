@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// This file is the allocation-free scoring fast path used by search
+// loops (baseline.Optimal, Conductor trials, jobsched previews). It
+// mirrors Run's time computation operation for operation — evalNode is
+// a deliberate lean duplicate of runNode's per-iteration time loop, in
+// the same floating-point order — so Eval.Time is bit-identical to
+// Result.Time, but nothing is allocated: no Result, no NodeResult
+// slice, no Events.
+
+// mEvals counts fast-path evaluations (telemetry).
+var mEvals = telemetry.Default.Counter("clip_sim_evals_total",
+	"allocation-free candidate evaluations (EvalTime fast path)")
+
+// Eval is the value-type outcome of an EvalTime scoring pass: exactly
+// the fields search loops consume, bit-identical to the corresponding
+// Result fields of Run under the same Config.
+type Eval struct {
+	Time       float64 // total runtime, seconds (== Result.Time)
+	IterTime   float64 // cluster-wide seconds per iteration (incl. comm)
+	CommTime   float64 // communication seconds per iteration
+	Iterations int
+	// CapOK is false when any participating node fell below the DVFS
+	// range and had to duty-cycle (== every NodeResult.CapOK ANDed).
+	CapOK bool
+	// MemPower0 is the DRAM power draw of the first participating node
+	// (== Result.Nodes[0].MemPower); single-node probes read it.
+	MemPower0 float64
+}
+
+// Perf converts the evaluated runtime to a throughput figure
+// (1/seconds), exactly as Result.Perf does.
+func (e Eval) Perf() float64 {
+	if e.Time <= 0 {
+		return 0
+	}
+	return 1 / e.Time
+}
+
+// EvalTime scores app on cluster under cfg without constructing a
+// Result. On clusters without per-node budgets it additionally skips
+// nodes whose power-efficiency coefficient matches the first node's —
+// identical inputs produce identical per-node timing, so only distinct
+// operating points are computed.
+func EvalTime(cl *hw.Cluster, app *workload.Spec, cfg Config) (Eval, error) {
+	if err := cfg.Validate(cl, app); err != nil {
+		return Eval{}, err
+	}
+	mEvals.Inc()
+	spec := cl.Spec()
+	iters := app.Iterations
+	if cfg.MaxIterations > 0 && cfg.MaxIterations < iters {
+		iters = cfg.MaxIterations
+	}
+
+	ev := Eval{Iterations: iters, CapOK: true}
+	uniform := cfg.PerNode == nil
+	var slowest, eff0 float64
+	for slot := 0; slot < cfg.Nodes; slot++ {
+		id := slot
+		if cfg.NodeIDs != nil {
+			id = cfg.NodeIDs[slot]
+		}
+		node := cl.Nodes[id]
+		if slot == 0 {
+			eff0 = node.PowerEff
+		} else if uniform && node.PowerEff == eff0 {
+			continue // same spec, budget and efficiency: same timing
+		}
+		budget := cfg.Budget
+		if cfg.PerNode != nil {
+			budget = cfg.PerNode[slot]
+		}
+		iterTime, memPower, capOK := evalNode(spec, node, app, &cfg, budget)
+		if iterTime > slowest {
+			slowest = iterTime
+		}
+		if !capOK {
+			ev.CapOK = false
+		}
+		if slot == 0 {
+			ev.MemPower0 = memPower
+		}
+	}
+	ev.CommTime = commTime(cl, app, cfg.Nodes)
+	ev.IterTime = slowest + ev.CommTime
+	ev.Time = ev.IterTime * float64(iters)
+	return ev, nil
+}
+
+// evalNode computes one node's steady-state per-iteration time and DRAM
+// power. It must stay a faithful copy of runNode's time computation
+// (same operations, same order) with the event and CPU-energy
+// bookkeeping removed; eval_test.go pins bit-equality against Run.
+func evalNode(spec *hw.NodeSpec, node *hw.Node, app *workload.Spec, cfg *Config, budget power.Budget) (iterTime, memPower float64, capOK bool) {
+	nDefault := cfg.CoresPerNode
+	shard := 1.0 / float64(cfg.Nodes)
+	if app.Scaling == workload.WeakScaling {
+		shard = 1
+	}
+
+	maxCores := nDefault
+	for _, n := range cfg.PhaseCores {
+		if n > maxCores {
+			maxCores = n
+		}
+	}
+	maxSockets := socketsUsed(spec, maxCores, cfg.Affinity)
+
+	f := spec.FMax()
+	capOK = true
+	if cfg.Capped {
+		f, _, capOK = power.EffectiveFreq(spec, maxCores, maxSockets, budget.CPU, node.PowerEff)
+	}
+	if cfg.FreqCap > 0 {
+		f = math.Min(f, spec.NearestFreq(cfg.FreqCap))
+	}
+
+	var memBytesTotal float64
+	for _, ph := range app.Phases {
+		n := nDefault
+		if o, ok := cfg.PhaseCores[ph.Name]; ok {
+			n = o
+		}
+		sockets := socketsUsed(spec, n, cfg.Affinity)
+		rf := remoteFraction(app, sockets, cfg.Affinity)
+		bwCeil := BandwidthCeiling(spec, app, n, sockets, f, cfg.Capped, budget.Mem)
+		tPhase, bytes := PhaseTime(ph, n, f, shard, bwCeil, rf, spec.RemotePenalty)
+		iterTime += tPhase
+		memBytesTotal += bytes
+	}
+
+	avgBW := 0.0
+	if iterTime > 0 {
+		avgBW = memBytesTotal / iterTime
+	}
+	memPower = power.MemPowerAt(spec, socketsUsed(spec, maxCores, cfg.Affinity), avgBW)
+	return iterTime, memPower, capOK
+}

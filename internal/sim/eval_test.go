@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/power"
+	"repro/internal/workload"
+)
+
+// evalConfigs is a matrix covering every Config knob the fast path must
+// reproduce: caps on/off, uniform and per-node budgets, explicit node
+// ids, frequency caps, phase-wise concurrency, truncated runs, weak
+// scaling, single node and multi node.
+func evalConfigs(cl *hw.Cluster) []Config {
+	return []Config{
+		{Nodes: 1, CoresPerNode: 24, Affinity: workload.Scatter},
+		{Nodes: 4, CoresPerNode: 12, Affinity: workload.Compact,
+			Capped: true, Budget: power.Budget{CPU: 120, Mem: 20}},
+		{Nodes: 8, CoresPerNode: 24, Affinity: workload.Scatter,
+			Capped: true, Budget: power.Budget{CPU: 90, Mem: 15}},
+		{Nodes: 2, CoresPerNode: 6, Affinity: workload.Scatter,
+			Capped: true, Budget: power.Budget{CPU: 40, Mem: 10}}, // duty-cycling range
+		{Nodes: 3, CoresPerNode: 16, Affinity: workload.Compact,
+			NodeIDs: []int{5, 1, 6},
+			Capped:  true, PerNode: []power.Budget{{CPU: 110, Mem: 18}, {CPU: 95, Mem: 12}, {CPU: 130, Mem: 25}}},
+		{Nodes: 4, CoresPerNode: 20, Affinity: workload.Scatter,
+			Capped: true, Budget: power.Budget{CPU: 100, Mem: 16}, FreqCap: 1.7},
+		{Nodes: 2, CoresPerNode: 8, Affinity: workload.Compact,
+			Capped: true, Budget: power.Budget{CPU: 140, Mem: 22},
+			PhaseCores: map[string]int{"x-solve": 16}, MaxIterations: 7},
+	}
+}
+
+// TestEvalTimeMatchesRun pins the fast path to the full simulator
+// bit-for-bit: the fields Eval exposes must be ==, not merely close.
+func TestEvalTimeMatchesRun(t *testing.T) {
+	clusters := map[string]*hw.Cluster{
+		"uniform": hw.NewCluster(8, hw.HaswellSpec(), 0, 1),
+		"varied":  hw.NewCluster(8, hw.HaswellSpec(), 0.03, 42),
+	}
+	apps := []*workload.Spec{workload.SPMZ(), workload.CoMD(), workload.Stream(), workload.BTMZ()}
+	for cname, cl := range clusters {
+		for _, app := range apps {
+			for i, cfg := range evalConfigs(cl) {
+				res, rerr := Run(cl, app, cfg)
+				ev, eerr := EvalTime(cl, app, cfg)
+				if (rerr == nil) != (eerr == nil) {
+					t.Fatalf("%s/%s cfg %d: Run err %v, EvalTime err %v", cname, app.Name, i, rerr, eerr)
+				}
+				if rerr != nil {
+					continue
+				}
+				if ev.Time != res.Time || ev.IterTime != res.IterTime || ev.CommTime != res.CommTime {
+					t.Errorf("%s/%s cfg %d: Eval times (%v %v %v) != Run times (%v %v %v)",
+						cname, app.Name, i, ev.Time, ev.IterTime, ev.CommTime, res.Time, res.IterTime, res.CommTime)
+				}
+				if ev.Iterations != res.Iterations {
+					t.Errorf("%s/%s cfg %d: iterations %d != %d", cname, app.Name, i, ev.Iterations, res.Iterations)
+				}
+				if ev.MemPower0 != res.Nodes[0].MemPower {
+					t.Errorf("%s/%s cfg %d: MemPower0 %v != %v", cname, app.Name, i, ev.MemPower0, res.Nodes[0].MemPower)
+				}
+				allOK := true
+				for _, nr := range res.Nodes {
+					allOK = allOK && nr.CapOK
+				}
+				if ev.CapOK != allOK {
+					t.Errorf("%s/%s cfg %d: CapOK %v != %v", cname, app.Name, i, ev.CapOK, allOK)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalTimeErrors mirrors Run's validation behaviour.
+func TestEvalTimeErrors(t *testing.T) {
+	cl := hw.NewCluster(4, hw.HaswellSpec(), 0, 1)
+	app := workload.SPMZ()
+	bad := []Config{
+		{Nodes: 0, CoresPerNode: 4},
+		{Nodes: 9, CoresPerNode: 4},
+		{Nodes: 2, CoresPerNode: 99},
+		{Nodes: 2, CoresPerNode: 4, Capped: true, Budget: power.Budget{CPU: -1, Mem: 5}},
+	}
+	for i, cfg := range bad {
+		if _, err := EvalTime(cl, app, cfg); err == nil {
+			t.Errorf("config %d: expected error", i)
+		}
+	}
+}
+
+// TestEvalTimeAllocFree asserts the fast path allocates nothing once
+// the hardware model's ladder caches are warm — the property the whole
+// search rebuild rests on.
+func TestEvalTimeAllocFree(t *testing.T) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0.02, 42)
+	app := workload.SPMZ()
+	cfg := Config{Nodes: 8, CoresPerNode: 18, Affinity: workload.Scatter,
+		Capped: true, Budget: power.Budget{CPU: 105, Mem: 17}}
+	if _, err := EvalTime(cl, app, cfg); err != nil { // warm ladder caches
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := EvalTime(cl, app, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("EvalTime allocates %.1f objects per call, want 0", allocs)
+	}
+}

@@ -416,7 +416,7 @@ func SweepCores(cl *hw.Cluster, app *workload.Spec, maxCores int, aff workload.A
 	times := make([]float64, maxCores)
 	for n := 1; n <= maxCores; n++ {
 		cfg := Config{Nodes: 1, CoresPerNode: n, Affinity: aff, Capped: capped, Budget: budget}
-		r, err := Run(cl, app, cfg)
+		r, err := EvalTime(cl, app, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -12,9 +12,13 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 BENCHES='BenchmarkCLIPSchedule$|BenchmarkSimRun$|BenchmarkOptimalSearch$'
+# Scale-stress benchmarks (64-node search, 1k-job runtime trace) are
+# heavier per iteration, so they run fewer times.
+BENCHES_LARGE='BenchmarkOptimalSearchLarge$|BenchmarkJobschedThroughput$'
 
 echo "== micro-benchmarks ==" >&2
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=50x . | tee "$TMP/bench.txt" >&2
+go test -run '^$' -bench "$BENCHES_LARGE" -benchmem -benchtime=5x . | tee -a "$TMP/bench.txt" >&2
 
 echo "== suite wall time ==" >&2
 go build -o "$TMP/clipbench" ./cmd/clipbench
