@@ -10,7 +10,7 @@
 GO ?= go
 
 # Packages whose exported identifiers must all carry doc comments.
-DOC_PKGS = ./internal/telemetry ./internal/core ./internal/coordinator
+DOC_PKGS = ./internal/telemetry ./internal/core ./internal/coordinator ./internal/faults
 
 .PHONY: build test check docs bench suite
 
@@ -25,6 +25,9 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
+	$(GO) run ./cmd/clipsim -app sp-mz.C -budget 1200 \
+		-faults "crash-mtbf=120,mttr=20,exc-mtbf=240,seed=7" \
+		| grep -q "bound-invariant: ok"
 	$(MAKE) docs
 
 docs:

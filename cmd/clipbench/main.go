@@ -26,12 +26,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 	"repro/internal/telemetry"
@@ -55,7 +58,11 @@ func run() int {
 
 	if *list {
 		for _, e := range bench.All() {
-			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+			extra := ""
+			if e.Hidden {
+				extra = " (not part of 'all')"
+			}
+			fmt.Printf("%-10s %s%s\n", e.ID, e.Title, extra)
 		}
 		return 0
 	}
@@ -84,8 +91,14 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "clipbench: telemetry live on http://%s/metrics\n", addr)
 	}
 
+	// Ctrl-C / SIGTERM cancels the suite: running experiments finish,
+	// pending ones are skipped, and the reports produced so far flush.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ctx := bench.NewContext()
 	ctx.Workers = *parallel
+	ctx.BaseCtx = sigCtx
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, "clipbench:", err)
@@ -96,6 +109,9 @@ func run() int {
 	var ids []string
 	if *exp == "all" {
 		for _, e := range bench.All() {
+			if e.Hidden {
+				continue
+			}
 			ids = append(ids, e.ID)
 		}
 	} else {

@@ -9,6 +9,13 @@
 //	clipsim -spec custom.json -app myapp          # user-defined workload
 //	clipsim -app lu-mz.C -weak                    # weak-scaled variant
 //	clipsim -app comd -telemetry :9090            # live /metrics endpoint
+//	clipsim -app sp-mz.C -budget 1200 -faults "crash-mtbf=60,mttr=20,seed=7"
+//
+// With -faults, clipsim switches from the single-run planner to the
+// multi-job scheduler and replays a small job stream twice — once
+// fault-free, once under the given deterministic fault scenario — and
+// reports the fault log, per-job retries, degradation and the power
+// bound audit. See `internal/faults` for the scenario key=value keys.
 package main
 
 import (
@@ -18,7 +25,9 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/hw"
+	"repro/internal/jobsched"
 	"repro/internal/plan"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -35,6 +44,8 @@ func main() {
 	weak := flag.Bool("weak", false, "run the weak-scaled variant of the application")
 	teleAddr := flag.String("telemetry", "", "serve live telemetry over HTTP on this address (e.g. :9090; /metrics, /telemetry.json)")
 	teleOut := flag.String("telemetry-out", "", "write an end-of-run telemetry report (JSON) to this file")
+	faultSpec := flag.String("faults", "", "fault-injection scenario as key=value pairs, e.g. \"crash-mtbf=60,mttr=20,seed=7\" (switches to the multi-job chaos mode)")
+	faultJobs := flag.Int("fault-jobs", 6, "number of staggered copies of -app submitted in -faults mode")
 	flag.Parse()
 
 	if *teleAddr != "" {
@@ -62,6 +73,13 @@ func main() {
 	}
 	cl := hw.NewCluster(*nodes, hw.HaswellSpec(), *sigma, 42)
 
+	if *faultSpec != "" {
+		if err := runFaults(cl, app, *budget, *faultSpec, *faultJobs); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	methods, err := selectMethods(cl, *method)
 	if err != nil {
 		fatal(err)
@@ -88,6 +106,83 @@ func main() {
 	fmt.Printf("application %s under a %.0f W cluster power bound (%d nodes available)\n\n",
 		app.Name, *budget, *nodes)
 	t.Render(os.Stdout)
+}
+
+// runFaults is the -faults mode: submit njobs staggered copies of app
+// to the multi-job scheduler under the parsed fault scenario, and
+// report the fault timeline, per-job outcomes and the degradation
+// against a fault-free control of the same stream. The run fails (exit
+// status 1) if the power bound was exceeded at any event.
+func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, njobs int) error {
+	sc, err := faults.Parse(spec)
+	if err != nil {
+		return err
+	}
+	if njobs < 1 {
+		return fmt.Errorf("clipsim: -fault-jobs must be at least 1, got %d", njobs)
+	}
+	jobs := make([]jobsched.Job, njobs)
+	for i := range jobs {
+		jobs[i] = jobsched.Job{ID: fmt.Sprintf("j%02d", i), App: app, Arrival: float64(i) * 5}
+	}
+	run := func(sc *faults.Scenario) (*jobsched.Stats, error) {
+		clip, err := core.New(cl)
+		if err != nil {
+			return nil, err
+		}
+		s, err := jobsched.New(cl, clip, jobsched.Config{Bound: budget,
+			Policy: jobsched.AggressiveBackfill, Reallocate: true, Faults: sc})
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(jobs)
+	}
+	base, err := run(nil)
+	if err != nil {
+		return fmt.Errorf("fault-free control: %w", err)
+	}
+	st, err := run(sc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%d× %s under a %.0f W cluster power bound (%d nodes)\n", njobs, app.Name, budget, len(cl.Nodes))
+	fmt.Printf("fault scenario: %s\n\n", sc)
+	for _, e := range st.FaultLog {
+		fmt.Println(e.String())
+	}
+
+	fmt.Println()
+	t := trace.NewTable("job", "arrival_s", "start_s", "finish_s", "retries", "nodes")
+	for _, j := range st.Jobs {
+		t.Add(j.ID, j.Arrival, j.Start, j.Finish, j.Retries, j.Nodes)
+	}
+	t.Render(os.Stdout)
+	if len(st.Failed) > 0 {
+		fmt.Println()
+		f := trace.NewTable("failed job", "arrival_s", "failed_at_s", "retries", "reason")
+		for _, j := range st.Failed {
+			f.Add(j.ID, j.Arrival, j.FailedAt, j.Retries, j.Reason)
+		}
+		f.Render(os.Stdout)
+	}
+
+	deg := 0.0
+	if base.Makespan > 0 {
+		deg = 100 * (st.Makespan/base.Makespan - 1)
+	}
+	fmt.Println()
+	fmt.Printf("makespan: %.2f s (fault-free %.2f s, %+.1f%%)\n", st.Makespan, base.Makespan, deg)
+	fmt.Printf("faults injected: %d (%d crashes, %d excursions, %d stragglers)\n",
+		st.Faults.Injected, st.Faults.Crashes, st.Faults.Excursions, st.Faults.Stragglers)
+	fmt.Printf("retries: %d  migrations: %d  failed jobs: %d  power reclaimed: %.1f W\n",
+		st.Faults.Retries, st.Faults.Migrations, len(st.Failed), st.Faults.WattsReclaimed)
+	if st.PeakAllocW > budget+1e-6 {
+		fmt.Printf("bound-invariant: VIOLATED (peak allocation %.1f/%.0f W)\n", st.PeakAllocW, budget)
+		return fmt.Errorf("peak allocation %.3f W exceeded the %.0f W bound", st.PeakAllocW, budget)
+	}
+	fmt.Printf("bound-invariant: ok (peak allocation %.1f/%.0f W)\n", st.PeakAllocW, budget)
+	return nil
 }
 
 // resolveApp finds the application in the built-in catalogue or, when

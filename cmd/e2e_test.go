@@ -79,6 +79,20 @@ func TestClipsimCustomSpec(t *testing.T) {
 	mustContain(t, out, "custom", "CLIP")
 }
 
+// TestClipsimFaults pins the -faults chaos mode at the CLI surface:
+// the fault timeline, retry accounting and bound audit all appear, and
+// a second identical invocation reproduces the output byte-for-byte.
+func TestClipsimFaults(t *testing.T) {
+	args := []string{"-app", "sp-mz.C", "-budget", "1200",
+		"-faults", "crash-mtbf=300,mttr=20,exc-mtbf=240,seed=7", "-fault-jobs", "4"}
+	out := run(t, "clipsim", args...)
+	mustContain(t, out, "fault scenario:", "crash-mtbf=300", "makespan:",
+		"faults injected:", "retries:", "bound-invariant: ok")
+	if again := run(t, "clipsim", args...); again != out {
+		t.Errorf("same -faults seed produced different output (%d vs %d bytes)", len(out), len(again))
+	}
+}
+
 func TestClipsimRejectsUnknownApp(t *testing.T) {
 	cmd := exec.Command(filepath.Join(binDir, "clipsim"), "-app", "nope")
 	if out, err := cmd.CombinedOutput(); err == nil {

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -57,6 +58,12 @@ type Optimal struct {
 	// keeps the raw grid winner, matching the historical output
 	// byte-for-byte.
 	RefineIters int
+	// Ctx, when non-nil, lets a caller abandon the search: Plan checks
+	// it between node-count subtrees (serial) or per worker dispatch
+	// (parallel) and returns the context's error. Cancellation of one
+	// subtree stops the sibling workers. A nil Ctx searches to
+	// completion, as before.
+	Ctx context.Context
 }
 
 var _ plan.Method = (*Optimal)(nil)
@@ -117,12 +124,22 @@ func (o *Optimal) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (*plan
 		effMin[i] = m
 	}
 
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	best := subtreeBest{time: math.Inf(1)}
 	if o.Workers > 1 && len(counts) > 1 {
 		// Deterministic fan-out: subtrees search independent local
 		// incumbents (slightly less pruning than the serial shared
 		// incumbent, but order-independent), then an ordered reduction
-		// applies the exact serial tie-break.
+		// applies the exact serial tie-break. A subtree error (or caller
+		// cancellation) cancels the sibling workers via cctx; subtrees
+		// skipped that way carry the context error, and the reduction
+		// prefers a real error over context.Canceled so the root cause
+		// surfaces.
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
 		results := make([]subtreeBest, len(counts))
 		workers := o.Workers
 		if workers > len(counts) {
@@ -135,27 +152,54 @@ func (o *Optimal) Plan(cl *hw.Cluster, app *workload.Spec, bound float64) (*plan
 			go func() {
 				defer wg.Done()
 				for i := range next {
+					if err := cctx.Err(); err != nil {
+						results[i] = subtreeBest{err: err}
+						continue
+					}
 					local := math.Inf(1)
 					results[i] = s.searchSubtree(counts[i], effMin[counts[i]-1], &local)
+					if results[i].err != nil {
+						cancel()
+					}
 				}
 			}()
 		}
+		dispatched := 0
+	dispatch:
 		for i := range counts {
-			next <- i
+			select {
+			case next <- i:
+				dispatched++
+			case <-cctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
-		for _, r := range results {
+		var firstErr error
+		for _, r := range results[:dispatched] {
 			if r.err != nil {
-				return nil, r.err
+				if firstErr == nil || firstErr == context.Canceled {
+					firstErr = r.err
+				}
+				continue
 			}
 			if r.ok && r.time < best.time {
 				best = r
 			}
 		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	} else {
 		incumbent := math.Inf(1)
 		for _, nNodes := range counts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			r := s.searchSubtree(nNodes, effMin[nNodes-1], &incumbent)
 			if r.err != nil {
 				return nil, r.err

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -193,5 +195,33 @@ func TestOptimalTelemetry(t *testing.T) {
 		if !strings.Contains(sb.String(), fam) {
 			t.Errorf("exposition missing %s", fam)
 		}
+	}
+}
+
+// TestOptimalCancellation: a cancelled context aborts the search with
+// the context's error, serial and parallel; a live context changes
+// nothing about the chosen plan.
+func TestOptimalCancellation(t *testing.T) {
+	cl := hw.NewCluster(8, hw.HaswellSpec(), 0, 1)
+	app := workload.CoMD()
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		o := &Optimal{MemSteps: 4, Workers: workers, Ctx: cancelled}
+		if _, err := o.Plan(cl, app, 1600); !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: cancelled search returned %v, want context.Canceled", workers, err)
+		}
+	}
+	want, err := (&Optimal{MemSteps: 4}).Plan(cl, app, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		o := &Optimal{MemSteps: 4, Workers: workers, Ctx: context.Background()}
+		got, err := o.Plan(cl, app, 1600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samePlan(t, fmt.Sprintf("live-ctx/workers=%d", workers), got, want)
 	}
 }

@@ -7,6 +7,8 @@ package bench
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -54,9 +56,36 @@ type Context struct {
 	// heavyweight experiments' inner sweeps; 0 or negative means
 	// GOMAXPROCS, 1 forces fully serial execution.
 	Workers int
+	// BaseCtx, when non-nil, bounds the whole suite: a driver can attach
+	// signal handling or a deadline and every worker pool stops
+	// dispatching once it is done. Nil means context.Background().
+	BaseCtx context.Context
 
 	mu   sync.Mutex
 	clip *core.CLIP
+	run  context.Context
+}
+
+// runCtx returns the context the current suite run operates under:
+// the internal per-run context while RunSuite is active (so one failed
+// experiment cancels its siblings), else BaseCtx, else Background.
+func (c *Context) runCtx() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.run != nil {
+		return c.run
+	}
+	if c.BaseCtx != nil {
+		return c.BaseCtx
+	}
+	return context.Background()
+}
+
+// setRunCtx installs (or clears) the per-run context.
+func (c *Context) setRunCtx(ctx context.Context) {
+	c.mu.Lock()
+	c.run = ctx
+	c.mu.Unlock()
 }
 
 // workers resolves the effective worker count.
@@ -69,14 +98,21 @@ func (c *Context) workers() int {
 
 // forEach runs fn(i) for i in [0, n) from a bounded worker pool and
 // waits for all of them. With one worker (or n == 1) it degenerates to
-// a plain loop, keeping serial runs strictly serial.
+// a plain loop, keeping serial runs strictly serial. Once the run
+// context is cancelled no further indices are dispatched; indices
+// already running complete (experiments are deterministic and their
+// partial output is discarded by the caller on error anyway).
 func (c *Context) forEach(n int, fn func(i int)) {
+	ctx := c.runCtx()
 	w := c.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			fn(i)
 		}
 		return
@@ -92,8 +128,14 @@ func (c *Context) forEach(n int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
@@ -151,6 +193,9 @@ type Experiment struct {
 	Title string
 	// Paper describes the corresponding artifact in the paper.
 	Paper string
+	// Hidden excludes the experiment from the "all" suite (long-running
+	// extras like the chaos sweep, which are invoked by ID).
+	Hidden bool
 	// Run executes the experiment and writes its report.
 	Run func(ctx *Context, w io.Writer) error
 }
@@ -200,9 +245,13 @@ func ByID(id string) (Experiment, bool) {
 // each report (separated by a blank line, as cmd/clipbench always has)
 // to w. Experiments run concurrently from the context's worker pool
 // into per-experiment buffers; reports are flushed in input order, so
-// the bytes written are identical to a serial run. On the first
-// experiment error the output produced by the preceding experiments is
-// still flushed and the error is returned.
+// the bytes written are identical to a serial run. The first
+// experiment error cancels the rest of the suite (experiments not yet
+// dispatched are skipped; a driver cancellation via BaseCtx does the
+// same); the output produced by the preceding experiments is still
+// flushed and the root-cause error is returned — a real experiment
+// failure is reported in preference to the bare context.Canceled of
+// the experiments it cancelled.
 func RunSuite(ctx *Context, w io.Writer, ids []string) error {
 	exps := make([]Experiment, len(ids))
 	for i, id := range ids {
@@ -212,11 +261,24 @@ func RunSuite(ctx *Context, w io.Writer, ids []string) error {
 		}
 		exps[i] = e
 	}
+	base := ctx.BaseCtx
+	if base == nil {
+		base = context.Background()
+	}
+	rctx, cancel := context.WithCancel(base)
+	defer cancel()
+	ctx.setRunCtx(rctx)
+	defer ctx.setRunCtx(nil)
 	bufs := make([]bytes.Buffer, len(exps))
 	errs := make([]error, len(exps))
+	started := make([]bool, len(exps))
 	ctx.forEach(len(exps), func(i int) {
+		started[i] = true
 		start := time.Now()
 		errs[i] = exps[i].Run(ctx, &bufs[i])
+		if errs[i] != nil {
+			cancel()
+		}
 		elapsed := time.Since(start).Seconds()
 		mExperiments.Inc()
 		mExperimentSeconds.Observe(elapsed)
@@ -225,8 +287,21 @@ func RunSuite(ctx *Context, w io.Writer, ids []string) error {
 			"wall time of the most recent run of the experiment").Set(elapsed)
 	})
 	for i := range exps {
+		if !started[i] && errs[i] == nil {
+			errs[i] = rctx.Err() // skipped after cancellation
+		}
+	}
+	var firstErr error
+	for i := range exps {
 		if errs[i] != nil {
-			return fmt.Errorf("%s: %w", exps[i].ID, errs[i])
+			e := fmt.Errorf("%s: %w", exps[i].ID, errs[i])
+			if firstErr == nil || errors.Is(firstErr, context.Canceled) && !errors.Is(e, context.Canceled) {
+				firstErr = e
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // don't flush reports past the first failure
 		}
 		if _, err := w.Write(bufs[i].Bytes()); err != nil {
 			return err
@@ -235,7 +310,7 @@ func RunSuite(ctx *Context, w io.Writer, ids []string) error {
 			return err
 		}
 	}
-	return nil
+	return firstErr
 }
 
 // header prints a standard experiment banner.

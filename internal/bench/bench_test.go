@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "fig6", "fig7", "fig8", "fig9",
 		"tab1", "tab2", "abl-var", "abl-phase", "abl-even", "optimal",
-		"des-validate", "multijob", "ext-suite", "energy", "overprovision", "robustness", "ctrl-trace", "weak-scaling", "overhead", "demand-response", "abl-threshold",
+		"des-validate", "multijob", "ext-suite", "energy", "overprovision", "robustness", "ctrl-trace", "weak-scaling", "overhead", "demand-response", "abl-threshold", "chaos",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

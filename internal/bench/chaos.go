@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/faults"
+	"repro/internal/jobsched"
+	"repro/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "chaos",
+		Title:  "Chaos sweep: makespan/throughput degradation vs fault rate",
+		Paper:  "extension — robustness of the multi-job runtime under node failures, power excursions and stragglers",
+		Hidden: true, // long sweep; run explicitly with -exp chaos
+		Run:    runChaos,
+	})
+}
+
+// chaosScenarios is the fault-rate sweep: a fault-free control, three
+// crash intensities, and a combined scenario adding excursions and
+// stragglers at the middle crash rate. All seeds fixed — the sweep is
+// deterministic.
+func chaosScenarios() []struct {
+	name string
+	sc   *faults.Scenario
+} {
+	return []struct {
+		name string
+		sc   *faults.Scenario
+	}{
+		{"fault-free", nil},
+		{"crash-mtbf600", &faults.Scenario{Seed: 7, CrashMTBF: 600, MTTR: 30}},
+		{"crash-mtbf300", &faults.Scenario{Seed: 7, CrashMTBF: 300, MTTR: 30}},
+		{"crash-mtbf150", &faults.Scenario{Seed: 7, CrashMTBF: 150, MTTR: 30}},
+		{"combined", &faults.Scenario{Seed: 7, CrashMTBF: 300, MTTR: 30,
+			ExcursionMTBF: 200, StragglerMTBF: 250}},
+	}
+}
+
+// runChaos replays the multijob eight-job stream under increasingly
+// hostile fault scenarios and reports the degradation relative to the
+// fault-free control, plus the runtime's recovery bookkeeping. The
+// bound invariant is re-checked here: any scenario whose peak
+// allocation exceeded the cluster bound fails the experiment.
+func runChaos(ctx *Context, w io.Writer) error {
+	e, _ := ByID("chaos")
+	header(w, e)
+	clip, err := ctx.CLIP()
+	if err != nil {
+		return err
+	}
+	const bound = 1400.0
+	scenarios := chaosScenarios()
+
+	runs := make([]*jobsched.Stats, len(scenarios))
+	runErrs := make([]error, len(scenarios))
+	ctx.forEach(len(scenarios), func(i int) {
+		cfg := jobsched.Config{Bound: bound, Policy: jobsched.AggressiveBackfill,
+			Reallocate: true, Faults: scenarios[i].sc}
+		s, err := jobsched.New(ctx.Cluster, clip, cfg)
+		if err != nil {
+			runErrs[i] = err
+			return
+		}
+		runs[i], runErrs[i] = s.Run(multiJobWorkload())
+	})
+
+	fmt.Fprintf(w, "eight-job stream under a %.0f W bound; node crashes quarantine, jobs retry with backoff,\n", bound)
+	fmt.Fprintf(w, "excursions derate budgets, stragglers slow iterations (seed 7 throughout)\n\n")
+	t := trace.NewTable("scenario", "makespan_s", "degradation_%", "jobs_done", "failed",
+		"retries", "reclaimed_W", "peak_alloc_W")
+	var base float64
+	for i, sc := range scenarios {
+		if runErrs[i] != nil {
+			return fmt.Errorf("chaos %s: %w", sc.name, runErrs[i])
+		}
+		st := runs[i]
+		if i == 0 {
+			base = st.Makespan
+		}
+		deg := 0.0
+		if base > 0 {
+			deg = 100 * (st.Makespan/base - 1)
+		}
+		t.Add(sc.name, st.Makespan, deg, len(st.Jobs), len(st.Failed),
+			st.Faults.Retries, st.Faults.WattsReclaimed, st.PeakAllocW)
+		if st.PeakAllocW > bound+1e-6 {
+			return fmt.Errorf("chaos %s: peak allocation %.3f W exceeded the %.0f W bound",
+				sc.name, st.PeakAllocW, bound)
+		}
+	}
+	t.Render(w)
+
+	// Machine-greppable lines for scripts/bench.sh.
+	fmt.Fprintln(w)
+	for i, sc := range scenarios {
+		st := runs[i]
+		mtbf := 0.0
+		if sc.sc != nil {
+			mtbf = sc.sc.CrashMTBF
+		}
+		deg := 0.0
+		if base > 0 {
+			deg = 100 * (st.Makespan/base - 1)
+		}
+		throughput := 0.0
+		if st.Makespan > 0 {
+			throughput = float64(len(st.Jobs)) / st.Makespan * 3600
+		}
+		fmt.Fprintf(w, "chaos scenario=%s mtbf=%.0f makespan_s=%.2f degradation_pct=%.1f throughput_jobs_per_h=%.2f retries=%d failed=%d reclaimed_w=%.1f\n",
+			sc.name, mtbf, st.Makespan, deg, throughput, st.Faults.Retries, len(st.Failed), st.Faults.WattsReclaimed)
+	}
+	return nil
+}

@@ -28,7 +28,7 @@ func runOptimal(ctx *Context, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opt := &baseline.Optimal{}
+	opt := &baseline.Optimal{Ctx: ctx.runCtx()}
 
 	apps := []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.SPMZ()}
 	bounds := []float64{1800, 1000}

@@ -99,6 +99,16 @@ type Coordinator struct {
 	// the energy-aware objective: minimum predicted energy within this
 	// relative slowdown of the fastest configuration.
 	EnergyTolerance float64
+	// Unavailable marks nodes that must not receive placements
+	// (quarantined after a crash, drained by a circuit breaker). They are
+	// excluded from node-count candidacy and from pickNodes. A nil map
+	// means every node is available.
+	Unavailable map[int]bool
+	// NodeDerate maps a node id to the fraction of its budget currently
+	// withheld by an emergency re-cap (power excursion). Assigned budgets
+	// for such nodes are reduced via power.DerateBudget after the uniform
+	// or variability-aware split. A nil map applies no derating.
+	NodeDerate map[int]float64
 }
 
 // threshold returns the effective variability threshold.
@@ -123,9 +133,11 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		return nil, fmt.Errorf("coordinator: non-positive bound %.1f W", bound)
 	}
 	spec := c.Cluster.Spec()
-	counts := app.AllowedProcCounts(c.Cluster.NumNodes())
+	avail := c.availableNodes()
+	counts := app.AllowedProcCounts(avail)
 	if len(counts) == 0 {
-		return nil, fmt.Errorf("coordinator: %s admits no process count on %d nodes", app.Name, c.Cluster.NumNodes())
+		return nil, fmt.Errorf("coordinator: %s admits no process count on %d available of %d nodes",
+			app.Name, avail, c.Cluster.NumNodes())
 	}
 
 	type cand struct {
@@ -212,13 +224,28 @@ func (c *Coordinator) publish(app string, bound float64, ids []int, budgets []po
 	telemetry.Default.Events().Append(ev)
 }
 
-// pickNodes selects the n most power-efficient nodes (lowest PowerEff):
-// under a shared bound the efficient parts sustain the highest
-// frequencies.
+// availableNodes counts nodes eligible for placement.
+func (c *Coordinator) availableNodes() int {
+	n := c.Cluster.NumNodes()
+	for id, bad := range c.Unavailable {
+		if bad && id >= 0 && id < c.Cluster.NumNodes() {
+			n--
+		}
+	}
+	return n
+}
+
+// pickNodes selects the n most power-efficient available nodes (lowest
+// PowerEff): under a shared bound the efficient parts sustain the
+// highest frequencies. Unavailable (quarantined/drained) nodes never
+// appear in the result.
 func (c *Coordinator) pickNodes(n int) []int {
-	ids := make([]int, c.Cluster.NumNodes())
-	for i := range ids {
-		ids[i] = i
+	ids := make([]int, 0, c.Cluster.NumNodes())
+	for i := 0; i < c.Cluster.NumNodes(); i++ {
+		if c.Unavailable[i] {
+			continue
+		}
+		ids = append(ids, i)
 	}
 	sort.SliceStable(ids, func(a, b int) bool {
 		return c.Cluster.Nodes[ids[a]].PowerEff < c.Cluster.Nodes[ids[b]].PowerEff
@@ -238,7 +265,7 @@ func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound flo
 	uniform := plan.UniformBudgets(n, cfg.Budget)
 	spread := c.variabilityAcross(ids)
 	if c.Threshold < 0 || spread <= c.threshold() {
-		return uniform, false
+		return c.applyDerate(ids, uniform), false
 	}
 
 	spec := c.Cluster.Spec()
@@ -267,14 +294,38 @@ func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound flo
 		spent += cpu
 	}
 	// Return any slack to the nodes evenly (headroom for the next
-	// ladder step on efficient parts).
+	// ladder step on efficient parts). When even the lowest ladder level
+	// overshoots the pool (duty-cycle region), scale the budgets down
+	// proportionally instead: the redistribution must never spend more
+	// than the uniform total, or a caller granting exactly its free
+	// power would overdraw its bound.
 	if slack := totalCPU - spent; slack > 0 {
 		per := slack / float64(n)
 		for i := range out {
 			out[i].CPU += per
 		}
+	} else if slack < 0 {
+		scale := totalCPU / spent
+		for i := range out {
+			out[i].CPU *= scale
+		}
 	}
-	return out, true
+	return c.applyDerate(ids, out), true
+}
+
+// applyDerate shaves each node's assigned budget by its active
+// excursion derate fraction, if any. With no derates the input slice is
+// returned untouched, keeping the common path allocation-identical.
+func (c *Coordinator) applyDerate(ids []int, budgets []power.Budget) []power.Budget {
+	if len(c.NodeDerate) == 0 {
+		return budgets
+	}
+	for i, id := range ids {
+		if frac := c.NodeDerate[id]; frac > 0 {
+			budgets[i] = power.DerateBudget(budgets[i], frac)
+		}
+	}
+	return budgets
 }
 
 // variabilityAcross returns the PowerEff spread over the chosen nodes.

@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/hw"
@@ -295,5 +296,66 @@ func TestExplicitZeroThreshold(t *testing.T) {
 	}
 	if !dZero.Coordinated {
 		t.Error("explicit zero threshold did not coordinate")
+	}
+}
+
+func TestUnavailableNodesExcluded(t *testing.T) {
+	cl := uniformCluster()
+	app := workload.CoMD()
+	p, pd := setup(t, cl, app)
+	co := &Coordinator{Cluster: cl, Unavailable: map[int]bool{2: true, 5: true}}
+	d, err := co.Schedule(app, p, pd, 2600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Plan.Nodes() > 6 {
+		t.Errorf("got %d nodes with 2 of 8 unavailable, want <= 6", d.Plan.Nodes())
+	}
+	for _, id := range d.Plan.NodeIDs {
+		if id == 2 || id == 5 {
+			t.Errorf("quarantined node %d received a placement", id)
+		}
+	}
+}
+
+func TestAllNodesUnavailableErrors(t *testing.T) {
+	cl := uniformCluster()
+	app := workload.CoMD()
+	p, pd := setup(t, cl, app)
+	bad := map[int]bool{}
+	for i := 0; i < cl.NumNodes(); i++ {
+		bad[i] = true
+	}
+	co := &Coordinator{Cluster: cl, Unavailable: bad}
+	if _, err := co.Schedule(app, p, pd, 2600); err == nil {
+		t.Error("schedule succeeded with every node unavailable")
+	}
+}
+
+func TestNodeDerateShrinksBudget(t *testing.T) {
+	cl := uniformCluster()
+	app := workload.CoMD()
+	p, pd := setup(t, cl, app)
+	base := &Coordinator{Cluster: cl}
+	d0, err := base.Schedule(app, p, pd, 2600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := &Coordinator{Cluster: cl, NodeDerate: map[int]float64{0: 0.3}}
+	d1, err := co.Schedule(app, p, pd, 2600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.Plan.NodeIDs[0] != 0 {
+		t.Skip("node 0 not placed")
+	}
+	want := d0.Plan.PerNode[0].Total() * 0.7
+	got := d1.Plan.PerNode[0].Total()
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("derated node budget %.3f W, want %.3f W", got, want)
+	}
+	// Other nodes keep the uniform budget.
+	if got, want := d1.Plan.PerNode[1].Total(), d0.Plan.PerNode[1].Total(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("non-derated node budget %.3f W, want %.3f W", got, want)
 	}
 }

@@ -43,6 +43,12 @@ var (
 // Event is a scheduled callback in virtual time.
 type Event struct {
 	Time float64
+	// Kind optionally labels the event for the layer above (jobsched
+	// tags completions, fault injections and recoveries with its own
+	// kind constants). The engine never interprets it; it is cleared
+	// when the event fires or is reclaimed, so recycled events start
+	// unlabelled.
+	Kind uint16
 	seq  uint64
 	fn   func()
 	// cancelled events stay in the heap but do nothing when popped.
@@ -103,6 +109,7 @@ func (e *Engine) reclaim(ev *Event) {
 	ev.fn = nil
 	ev.eng = nil
 	ev.cancelled = false
+	ev.Kind = 0
 	e.free = append(e.free, ev)
 }
 

@@ -481,3 +481,24 @@ func TestEngineReusesEvents(t *testing.T) {
 		t.Errorf("free list holds %d events after a serial chain; reuse broken?", len(e.free))
 	}
 }
+
+// TestEventKindClearedOnReuse: the Kind label must not leak from a
+// fired event into the next event recycled from the free list.
+func TestEventKindCleared(t *testing.T) {
+	e := NewEngine()
+	ev, err := e.After(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Kind = 42
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	next, err := e.After(1, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Kind != 0 {
+		t.Errorf("recycled event carries stale Kind %d", next.Kind)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
 	"repro/internal/power"
@@ -106,6 +107,14 @@ type Config struct {
 	// allocation and can be re-boosted when it recovers (requires
 	// Reallocate for the recovery direction).
 	BoundSchedule []BoundChange
+	// Faults, when non-nil and enabled, injects the scenario's node
+	// crashes, power-cap excursions and straggler episodes into the run
+	// and activates degraded-mode scheduling: affected jobs are killed
+	// and retried with capped exponential backoff, crashed nodes are
+	// quarantined out of placement until recovery, and excursions
+	// emergency-re-cap resident jobs. Zero-valued scenario parameters
+	// take their defaults (faults.Scenario.Normalized).
+	Faults *faults.Scenario
 }
 
 // BoundChange is one step of a time-varying power bound.
@@ -126,6 +135,12 @@ type JobResult struct {
 	Cores    int
 	PerNodeW float64 // per-node budget at start
 	Boosted  bool    // received reallocated power mid-run
+	// NodeIDs are the global node ids of the final placement (recorded
+	// under fault injection, for quarantine audits).
+	NodeIDs []int
+	// Retries counts how many times the job was killed by a fault and
+	// re-enqueued before this successful run.
+	Retries int
 }
 
 // Wait returns the queueing delay.
@@ -143,6 +158,20 @@ type Stats struct {
 	// to running jobs.
 	AvgPowerUse float64
 	Jobs        []JobResult
+	// Failed lists jobs that exhausted their retries (or had no node
+	// left) under fault injection; every submitted job ends up in Jobs
+	// or Failed.
+	Failed []FailedJob
+	// Faults aggregates the run's fault activity (zero without fault
+	// injection).
+	Faults FaultStats
+	// FaultLog is the ordered fault / degraded-mode event log; its
+	// rendered lines are byte-stable for a fixed scenario seed.
+	FaultLog []FaultEvent
+	// PeakAllocW is the highest allocated+reserved power observed at
+	// any event timestamp; the bound invariant keeps it at or below the
+	// bound or the run fails.
+	PeakAllocW float64
 }
 
 // Scheduler places jobs on a power-bounded cluster.
@@ -170,18 +199,22 @@ func New(cl *hw.Cluster, clip *core.CLIP, cfg Config) (*Scheduler, error) {
 
 // runningJob tracks an executing job.
 type runningJob struct {
-	job        Job
-	result     *JobResult
-	globalIDs  []int
-	cores      int
-	affinity   workload.Affinity
-	perNode    power.Budget
-	iterTime   float64
-	itersLeft  float64
-	lastUpdate float64
-	completion *des.Event
-	finishAt   float64 // scheduled completion time
-	powerUsed  float64 // total managed watts held by this job
+	job       Job
+	result    *JobResult
+	globalIDs []int
+	cores     int
+	affinity  workload.Affinity
+	perNode   power.Budget
+	iterTime  float64
+	// baseIterTime is the straggler-free iteration time of the current
+	// budget; iterTime = baseIterTime × the worst active straggler
+	// factor across the job's nodes (equal without fault injection).
+	baseIterTime float64
+	itersLeft    float64
+	lastUpdate   float64
+	completion   *des.Event
+	finishAt     float64 // scheduled completion time
+	powerUsed    float64 // total managed watts held by this job
 	// sub is the job's fixed subcluster view, built once at start and
 	// reused by every mid-run retune preview.
 	sub *hw.Cluster
@@ -224,6 +257,17 @@ type schedState struct {
 	lastAccount  float64
 	usedIntegral float64
 	failure      error
+	// fault injection (nil / unused without Config.Faults)
+	inj           *faults.Injector
+	runningOn     []*runningJob // node id -> resident job
+	straggle      []float64     // node id -> active slowdown factor (1 = none)
+	derated       []bool        // node id -> excursion active
+	reserved      []float64     // node id -> watts held back by an active excursion
+	retries       map[string]int
+	killedAt      map[string]float64 // job id -> kill time (time-to-reschedule)
+	faultEvs      map[*des.Event]struct{}
+	faultsStopped bool
+	jobsLeft      int // submitted jobs not yet finished or failed
 }
 
 // Run schedules the job list to completion and returns statistics.
@@ -240,16 +284,27 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 		}
 	}
 	st := &schedState{
-		s:       s,
-		eng:     des.NewEngine(),
-		running: make(map[string]*runningJob),
-		free:    make([]int, len(s.Cluster.Nodes)),
-		freeW:   s.Config.Bound,
-		bound:   s.Config.Bound,
-		stats:   &Stats{},
+		s:        s,
+		eng:      des.NewEngine(),
+		running:  make(map[string]*runningJob),
+		free:     make([]int, len(s.Cluster.Nodes)),
+		freeW:    s.Config.Bound,
+		bound:    s.Config.Bound,
+		stats:    &Stats{},
+		jobsLeft: len(jobs),
 	}
 	for i := range st.free {
 		st.free[i] = i
+	}
+	if s.Config.Faults != nil && s.Config.Faults.Enabled() {
+		sc := s.Config.Faults.Normalized()
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		st.initFaults(sc, len(s.Cluster.Nodes))
+		if st.failure != nil {
+			return nil, st.failure
+		}
 	}
 	for _, bc := range s.Config.BoundSchedule {
 		bc := bc
@@ -287,9 +342,10 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 		wait += jr.Wait()
 		turn += jr.Turnaround()
 	}
-	n := float64(len(res.Jobs))
-	res.AvgWait = wait / n
-	res.AvgTurnaround = turn / n
+	if n := float64(len(res.Jobs)); n > 0 {
+		res.AvgWait = wait / n
+		res.AvgTurnaround = turn / n
+	}
 	if res.Makespan > 0 {
 		res.AvgPowerUse = st.usedIntegral / (res.Makespan * s.Config.Bound)
 	}
@@ -308,14 +364,23 @@ func (st *schedState) accountPower() {
 	}
 }
 
-// arrive enqueues a job and tries to dispatch.
+// arrive enqueues a job and tries to dispatch. A job arriving after
+// the entire cluster has drained fails immediately — there is no node
+// it could ever run on.
 func (st *schedState) arrive(j Job) {
 	start := time.Now()
+	defer func() { mEventSeconds.Observe(time.Since(start).Seconds()) }()
+	if st.inj != nil && st.inj.AllDrained() {
+		st.failJob(j, "no nodes left: entire cluster drained")
+		st.publishState()
+		return
+	}
 	st.queue = append(st.queue, queueEntry{job: j})
 	st.qlive++
 	gQueuePeak.SetMax(float64(st.qlive))
 	st.dispatch()
-	mEventSeconds.Observe(time.Since(start).Seconds())
+	st.assertBound("arrive")
+	st.publishState()
 }
 
 // dispatch starts as many queued jobs as the policy and resources
@@ -354,8 +419,10 @@ func (st *schedState) dispatch() {
 		}
 		st.compactQueue()
 	}
-	gQueueDepth.Set(float64(st.qlive))
-	gFreeWatts.Set(st.freeW)
+	// Queue/free-watts telemetry is published by the event handlers via
+	// publishState — one atomic ring snapshot per event instead of
+	// piecemeal gauge stores that a concurrent reader could observe
+	// torn.
 }
 
 // compactQueue advances the head index past tombstones and reclaims the
@@ -495,7 +562,24 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		powerUsed:  used,
 		sub:        subCluster(st.s.Cluster, globals),
 	}
+	rj.baseIterTime = res.IterTime
 	st.running[j.ID] = rj
+	if st.inj != nil {
+		for _, g := range globals {
+			st.runningOn[g] = rj
+		}
+		rj.result.NodeIDs = globals
+		rj.result.Retries = st.retries[j.ID]
+		if f := st.jobFactor(rj); f > 1 {
+			rj.iterTime = res.IterTime * f
+		}
+		if t0, ok := st.killedAt[j.ID]; ok {
+			mReschedSeconds.Observe(st.eng.Now() - t0)
+			st.logFault("restart", -1, j.ID, 0,
+				fmt.Sprintf("rescheduled %.2fs after kill", st.eng.Now()-t0))
+			delete(st.killedAt, j.ID)
+		}
+	}
 	st.scheduleCompletion(rj)
 	return true
 }
@@ -536,11 +620,14 @@ func (st *schedState) finish(rj *runningJob) {
 	delete(st.running, rj.job.ID)
 	st.shadowOK = false
 	st.freeW += rj.powerUsed
-	st.returnFree(rj.globalIDs)
+	st.releaseNodes(rj.globalIDs)
+	st.jobDone()
 	st.dispatch()
 	if st.s.Config.Reallocate {
 		st.reallocate()
 	}
+	st.assertBound("finish")
+	st.publishState()
 	mEventSeconds.Observe(time.Since(start).Seconds())
 }
 
@@ -581,6 +668,7 @@ func (st *schedState) reallocate() {
 			continue // no useful boost
 		}
 		st.applyBoost(rj, cfg)
+		st.assertBound("rebalance")
 	}
 }
 
@@ -611,7 +699,7 @@ func (st *schedState) applyBoost(rj *runningJob, cfg recommend.NodeConfig) {
 		st.failure = err
 		return
 	}
-	if res.IterTime >= rj.iterTime-1e-12 {
+	if res.IterTime >= rj.baseIterTime-1e-12 {
 		return // not actually faster
 	}
 	extra := cfg.Budget.Total()*float64(len(rj.globalIDs)) - rj.powerUsed
@@ -641,7 +729,11 @@ func (st *schedState) commitRetune(rj *runningJob, b power.Budget, iterTime floa
 	st.freeW -= extra
 	rj.powerUsed += extra
 	rj.perNode = b
+	rj.baseIterTime = iterTime
 	rj.iterTime = iterTime
+	if f := st.jobFactor(rj); f > 1 {
+		rj.iterTime = iterTime * f
+	}
 	st.scheduleCompletion(rj)
 }
 
@@ -663,6 +755,8 @@ func (st *schedState) applyBoundChange(watts float64) {
 	if st.s.Config.Reallocate {
 		st.reallocate()
 	}
+	st.assertBound("bound-change")
+	st.publishState()
 }
 
 // shedPower shrinks running jobs' budgets proportionally until the

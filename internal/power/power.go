@@ -41,6 +41,26 @@ func (b Budget) String() string {
 	return fmt.Sprintf("cpu=%.1fW mem=%.1fW", b.CPU, b.Mem)
 }
 
+// DerateBudget removes frac of a node budget's total power, taking the
+// cut from the CPU domain first and trimming DRAM only once the CPU
+// domain is exhausted — DRAM refresh power buys proportionally more
+// performance than the last DVFS step, so an emergency re-cap (thermal
+// derate, sensor excursion) should starve compute before bandwidth.
+// frac <= 0 returns the budget unchanged; frac >= 1 returns zero.
+func DerateBudget(b Budget, frac float64) Budget {
+	if frac <= 0 {
+		return b
+	}
+	if frac >= 1 {
+		return Budget{}
+	}
+	cut := b.Total() * frac
+	if cut <= b.CPU {
+		return Budget{CPU: b.CPU - cut, Mem: b.Mem}
+	}
+	return Budget{CPU: 0, Mem: b.Mem - (cut - b.CPU)}
+}
+
 // CPUPower returns the CPU-domain power of one node in watts when
 // activeCores cores run at frequency f (GHz), distributed over
 // socketsUsed sockets, scaled by the node's manufacturing variability

@@ -282,3 +282,25 @@ func TestMeter(t *testing.T) {
 		t.Error("empty meter AvgPower != 0")
 	}
 }
+
+func TestDerateBudget(t *testing.T) {
+	b := Budget{CPU: 100, Mem: 30}
+	if got := DerateBudget(b, 0); got != b {
+		t.Errorf("frac 0 changed the budget: %v", got)
+	}
+	if got := DerateBudget(b, 1.5); got.Total() != 0 {
+		t.Errorf("frac >= 1 left %v", got)
+	}
+	// A 10% cut (13 W) comes entirely out of the CPU domain.
+	if got := DerateBudget(b, 0.1); got.CPU != 87 || got.Mem != 30 {
+		t.Errorf("10%% derate = %v, want cpu=87 mem=30", got)
+	}
+	// An 85% cut (110.5 W) exhausts CPU and trims DRAM by the rest.
+	got := DerateBudget(b, 0.85)
+	if got.CPU != 0 || got.Mem < 19.4 || got.Mem > 19.6 {
+		t.Errorf("85%% derate = %v, want cpu=0 mem=19.5", got)
+	}
+	if tot := got.Total(); tot < 19.4 || tot > 19.6 {
+		t.Errorf("derated total %v, want 19.5", tot)
+	}
+}

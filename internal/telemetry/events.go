@@ -10,6 +10,16 @@ const (
 	// KindRebalance is a variability-aware budget redistribution made by
 	// the coordinator (§III-B2), carrying the per-node budgets.
 	KindRebalance = "rebalance"
+	// KindFault is a fault-injection or degraded-mode action of the
+	// multi-job runtime (crash, recovery, job kill/retry, re-cap);
+	// Detail carries the rendered description.
+	KindFault = "fault"
+	// KindSchedState is an atomic snapshot of the multi-job runtime's
+	// state taken at the end of one scheduler event handler: queue
+	// depth, running set, and the free/allocated/reserved decomposition
+	// of the cluster power bound are captured in a single ring append,
+	// so readers can never observe a torn multi-gauge state.
+	KindSchedState = "sched-state"
 )
 
 // Event is one entry of the decision provenance log: enough context to
@@ -50,6 +60,24 @@ type Event struct {
 	CacheHit bool `json:"cache_hit,omitempty"`
 	// PerNode carries the redistributed budgets of a rebalance event.
 	PerNode []NodeBudget `json:"per_node,omitempty"`
+	// TimeS is the simulated timestamp of a runtime event (KindFault,
+	// KindSchedState).
+	TimeS float64 `json:"time_s,omitempty"`
+	// Detail is the rendered description of a KindFault event.
+	Detail string `json:"detail,omitempty"`
+	// QueueDepth and RunningJobs are the queue and running-set sizes of
+	// a KindSchedState snapshot.
+	QueueDepth  int `json:"queue_depth,omitempty"`
+	RunningJobs int `json:"running_jobs,omitempty"`
+	// FreeWatts, AllocWatts and ReservedWatts decompose the cluster
+	// bound of a KindSchedState snapshot; free + allocated + reserved
+	// always equals BoundWatts because the snapshot is taken atomically.
+	FreeWatts     float64 `json:"free_watts,omitempty"`
+	AllocWatts    float64 `json:"alloc_watts,omitempty"`
+	ReservedWatts float64 `json:"reserved_watts,omitempty"`
+	// QuarantinedNodes counts nodes out of service (quarantined or
+	// drained) at a KindSchedState snapshot.
+	QuarantinedNodes int `json:"quarantined_nodes,omitempty"`
 }
 
 // NodeBudget is one node's share in a rebalance event.

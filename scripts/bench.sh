@@ -35,6 +35,10 @@ PARALLEL_MS=$(wall_ms 0)
 WORKERS=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
 echo "suite: serial ${SERIAL_MS} ms, parallel ${PARALLEL_MS} ms (${WORKERS} workers)" >&2
 
+echo "== chaos sweep ==" >&2
+"$TMP/clipbench" -exp chaos -telemetry-out '' | tee "$TMP/chaos_full.txt" >&2
+grep '^chaos scenario=' "$TMP/chaos_full.txt" > "$TMP/chaos.txt"
+
 awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
 /^Benchmark/ {
     name = $1
@@ -46,6 +50,19 @@ awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
     }
     if (!(name in order)) { order[name] = ++n; names[n] = name }
 }
+/^chaos scenario=/ {
+    # "chaos scenario=<name> k=v k=v ..." -> one JSON object per scenario
+    cn++
+    body = ""
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        k = substr($(i), 1, eq - 1)
+        v = substr($(i), eq + 1)
+        if (k == "scenario") { cname[cn] = v; continue }
+        body = body sprintf("%s\"%s\": %s", body == "" ? "" : ", ", k, v)
+    }
+    cbody[cn] = body
+}
 END {
     printf "{\n  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -55,9 +72,13 @@ END {
             allocs[name] == "" ? 0 : allocs[name], i < n ? "," : ""
     }
     printf "  },\n"
+    printf "  \"chaos\": {\n"
+    for (i = 1; i <= cn; i++)
+        printf "    \"%s\": {%s}%s\n", cname[i], cbody[i], i < cn ? "," : ""
+    printf "  },\n"
     printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
     printf "}\n"
-}' "$TMP/bench.txt" > "$OUT"
+}' "$TMP/bench.txt" "$TMP/chaos.txt" > "$OUT"
 
 echo "wrote $OUT" >&2
 cat "$OUT"
