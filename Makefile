@@ -28,6 +28,7 @@ check:
 	$(GO) run ./cmd/clipsim -app sp-mz.C -budget 1200 \
 		-faults "crash-mtbf=120,mttr=20,exc-mtbf=240,seed=7" \
 		| grep -q "bound-invariant: ok"
+	./scripts/clipd_smoke.sh
 	$(MAKE) docs
 
 docs:

@@ -1,0 +1,234 @@
+// End-to-end tests for the clipd daemon and the clipload generator:
+// a real clipd process on an ephemeral port, driven over HTTP, drained
+// with SIGTERM, and audited for zero lost jobs.
+package cmd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuf collects a child process's output while it runs.
+type lockedBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var servingRe = regexp.MustCompile(`serving on http://(\S+)`)
+
+// startClipd launches the daemon and waits for its listen address.
+// The caller owns shutdown (sigtermAndWait or Process.Kill).
+func startClipd(t *testing.T, args ...string) (*exec.Cmd, string, *lockedBuf) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "clipd"),
+		append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	cmd.Dir = binDir
+	out := &lockedBuf{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := servingRe.FindStringSubmatch(out.String()); m != nil {
+			return cmd, "http://" + m[1], out
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_ = cmd.Process.Kill()
+	t.Fatalf("clipd never reported its address:\n%s", out.String())
+	return nil, "", nil
+}
+
+// sigtermAndWait drains the daemon and asserts a clean exit.
+func sigtermAndWait(t *testing.T, cmd *exec.Cmd, out *lockedBuf) string {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("clipd exited non-zero: %v\n%s", err, out.String())
+		}
+	case <-time.After(60 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("clipd did not exit within 60s of SIGTERM:\n%s", out.String())
+	}
+	return out.String()
+}
+
+func postJob(t *testing.T, base, id, app string) (int, map[string]any) {
+	t.Helper()
+	body := fmt.Sprintf(`{"id":%q,"app":%q}`, id, app)
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&m)
+	return resp.StatusCode, m
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestClipdLifecycle drives submit → status → cancel → cluster over a
+// live daemon, then drains it with SIGTERM and checks the exit report.
+func TestClipdLifecycle(t *testing.T) {
+	cmd, base, out := startClipd(t, "-budget", "1200", "-timescale", "0.000001")
+	// Submit: placed immediately on the idle cluster.
+	code, job := postJob(t, base, "e2e-1", "comd")
+	if code != http.StatusCreated {
+		t.Fatalf("submit code = %d (%v)", code, job)
+	}
+	if job["state"] != "running" {
+		t.Fatalf("submitted job state %v, want running", job["state"])
+	}
+	// Status.
+	var got map[string]any
+	if code := getJSON(t, base+"/v1/jobs/e2e-1", &got); code != http.StatusOK || got["state"] != "running" {
+		t.Fatalf("status = %d %v", code, got)
+	}
+	// Second job queues or runs; cancel it and verify power accounting.
+	code, _ = postJob(t, base, "e2e-2", "amg")
+	if code != http.StatusCreated {
+		t.Fatalf("second submit code = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/e2e-2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel code = %d", resp.StatusCode)
+	}
+	var cs struct {
+		BoundW float64 `json:"bound_watts"`
+		FreeW  float64 `json:"free_watts"`
+		AllocW float64 `json:"allocated_watts"`
+		RsvW   float64 `json:"reserved_watts"`
+		Run    int     `json:"running"`
+	}
+	if code := getJSON(t, base+"/v1/cluster", &cs); code != http.StatusOK {
+		t.Fatalf("cluster code = %d", code)
+	}
+	if cs.Run != 1 {
+		t.Errorf("running = %d after cancel, want 1", cs.Run)
+	}
+	if cs.AllocW+cs.RsvW > cs.BoundW+1e-6 {
+		t.Errorf("bound invariant violated: %+v", cs)
+	}
+	// Metrics are live.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, _ := readAll(resp)
+	if !strings.Contains(mb, "clip_http_submits_total 2") {
+		t.Errorf("/metrics missing submit count:\n%.500s", mb)
+	}
+	// Drain: the resident job completes in virtual time, nothing is lost.
+	final := sigtermAndWait(t, cmd, out)
+	mustContain(t, final, "drained, zero jobs lost", "e2e-1", "e2e-2",
+		"1 completed, 1 cancelled, 0 failed")
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			if err.Error() == "EOF" {
+				return sb.String(), nil
+			}
+			return sb.String(), err
+		}
+	}
+}
+
+// TestClipdFaultsDrain runs live chaos against the daemon: fast virtual
+// time, aggressive fault streams, a burst of jobs, then SIGTERM. Every
+// job must be accounted for and the exit clean (the bound-invariant
+// audit runs inside the scheduler on every event; a violation fails the
+// daemon and thus this test).
+func TestClipdFaultsDrain(t *testing.T) {
+	cmd, base, out := startClipd(t,
+		"-budget", "1200", "-timescale", "600",
+		"-faults", "crash-mtbf=120,mttr=15,exc-mtbf=100,strag-mtbf=90,seed=11")
+	const n = 8
+	for i := 0; i < n; i++ {
+		code, _ := postJob(t, base, fmt.Sprintf("chaos-%d", i), "comd")
+		if code != http.StatusCreated {
+			t.Fatalf("submit %d code = %d", i, code)
+		}
+	}
+	// Let the pump advance virtual time with faults firing.
+	time.Sleep(500 * time.Millisecond)
+	final := sigtermAndWait(t, cmd, out)
+	mustContain(t, final, "drained, zero jobs lost")
+	// Every submitted job appears in the exit report.
+	for i := 0; i < n; i++ {
+		mustContain(t, final, fmt.Sprintf("chaos-%d", i))
+	}
+	if !strings.Contains(final, fmt.Sprintf("%d jobs:", n)) {
+		t.Errorf("exit report does not account for all %d jobs:\n%s", n, final)
+	}
+}
+
+// TestCliploadAgainstClipd drives a live daemon with the seeded load
+// generator and checks the latency/throughput report.
+func TestCliploadAgainstClipd(t *testing.T) {
+	cmd, base, out := startClipd(t, "-budget", "1200", "-timescale", "120")
+	addr := strings.TrimPrefix(base, "http://")
+	lo := run(t, "clipload", "-addr", addr, "-rps", "200", "-duration", "2s",
+		"-cancel", "0.25", "-seed", "5")
+	mustContain(t, lo, "clipload target_rps=200", "achieved_rps=", "p99_ms=", "accepted")
+	if strings.Contains(lo, "accepted  0 ") {
+		t.Errorf("no submission accepted:\n%s", lo)
+	}
+	final := sigtermAndWait(t, cmd, out)
+	mustContain(t, final, "drained, zero jobs lost")
+}

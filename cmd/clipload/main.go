@@ -1,0 +1,162 @@
+// Command clipload is a deterministic load generator for clipd: it
+// drives the daemon's HTTP API at a target request rate for a fixed
+// duration and reports latency and throughput percentiles.
+//
+// Usage:
+//
+//	clipload -addr 127.0.0.1:8080 -rps 500 -duration 10s
+//	clipload -addr 127.0.0.1:8080 -rps 200 -cancel 0.3 -seed 7
+//
+// The generator is open-loop: submissions are dispatched on a fixed
+// tick regardless of response latency, so daemon backpressure shows up
+// as 429s in the report instead of silently slowing the offered load.
+// App selection and cancel decisions come from the given seed, so two
+// runs against equivalent daemons offer byte-identical request streams.
+//
+// The last output line is machine-readable (key=value pairs), consumed
+// by scripts/bench.sh:
+//
+//	clipload target_rps=500 sent=5000 ok=4807 rejected=193 errors=0 ...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "clipd address (host:port)")
+	rps := flag.Float64("rps", 500, "target submissions per second")
+	duration := flag.Duration("duration", 10*time.Second, "how long to offer load")
+	seed := flag.Int64("seed", 1, "deterministic stream seed (apps, cancel picks)")
+	apps := flag.String("apps", "comd,amg,minimd", "comma-separated app names to submit")
+	cancelFrac := flag.Float64("cancel", 0, "fraction of accepted jobs to cancel right after submit")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	flag.Parse()
+
+	if *rps <= 0 || *duration <= 0 {
+		fmt.Fprintln(os.Stderr, "clipload: -rps and -duration must be positive")
+		os.Exit(2)
+	}
+	names := strings.Split(*apps, ",")
+	base := "http://" + *addr
+	client := &http.Client{Timeout: *timeout}
+
+	rng := rand.New(rand.NewSource(*seed))
+	interval := time.Duration(float64(time.Second) / *rps)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	stop := time.After(*duration)
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // accepted submissions only, seconds
+		ok, rej   int
+		errs      int
+		cancels   int
+	)
+	var wg sync.WaitGroup
+	// In-flight bound: past it requests are counted as errors rather
+	// than piling up goroutines against a wedged daemon.
+	inflight := make(chan struct{}, 1024)
+	start := time.Now()
+	sent := 0
+
+loop:
+	for {
+		select {
+		case <-stop:
+			break loop
+		case <-ticker.C:
+		}
+		sent++
+		id := fmt.Sprintf("load-%d", sent)
+		app := names[rng.Intn(len(names))]
+		doCancel := rng.Float64() < *cancelFrac
+		select {
+		case inflight <- struct{}{}:
+		default:
+			mu.Lock()
+			errs++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			body, _ := json.Marshal(map[string]string{"id": id, "app": app})
+			t0 := time.Now()
+			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			lat := time.Since(t0).Seconds()
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+				return
+			}
+			resp.Body.Close()
+			mu.Lock()
+			switch {
+			case resp.StatusCode == http.StatusCreated:
+				ok++
+				latencies = append(latencies, lat)
+			case resp.StatusCode == http.StatusTooManyRequests ||
+				resp.StatusCode == http.StatusServiceUnavailable:
+				rej++
+			default:
+				errs++
+			}
+			mu.Unlock()
+			if doCancel && resp.StatusCode == http.StatusCreated {
+				req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+				if dr, derr := client.Do(req); derr == nil {
+					dr.Body.Close()
+					if dr.StatusCode == http.StatusOK {
+						mu.Lock()
+						cancels++
+						mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	sort.Float64s(latencies)
+	pct := func(q float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		return latencies[int(q*float64(len(latencies)-1))] * 1000 // ms
+	}
+	achieved := float64(ok) / elapsed
+
+	fmt.Printf("clipload: %s for %.1fs at target %.0f rps (seed %d)\n", base, elapsed, *rps, *seed)
+	fmt.Printf("  sent      %d\n", sent)
+	fmt.Printf("  accepted  %d (%.1f/s achieved)\n", ok, achieved)
+	fmt.Printf("  rejected  %d (429/503 backpressure)\n", rej)
+	fmt.Printf("  errors    %d\n", errs)
+	fmt.Printf("  cancelled %d\n", cancels)
+	fmt.Printf("  submit latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	fmt.Printf("clipload target_rps=%.0f sent=%d ok=%d rejected=%d errors=%d cancelled=%d "+
+		"achieved_rps=%.1f p50_ms=%.3f p90_ms=%.3f p99_ms=%.3f max_ms=%.3f\n",
+		*rps, sent, ok, rej, errs, cancels, achieved,
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+
+	if ok == 0 {
+		fmt.Fprintln(os.Stderr, "clipload: no submission was accepted")
+		os.Exit(1)
+	}
+}

@@ -20,9 +20,10 @@ func TestMain(m *testing.M) {
 	if err != nil {
 		panic(err)
 	}
-	// Build all four tools in one invocation.
+	// Build all six tools in one invocation.
 	cmd := exec.Command("go", "build", "-o", dir,
-		"repro/cmd/clipsim", "repro/cmd/clipprof", "repro/cmd/clipbench", "repro/cmd/clipjobs")
+		"repro/cmd/clipsim", "repro/cmd/clipprof", "repro/cmd/clipbench",
+		"repro/cmd/clipjobs", "repro/cmd/clipd", "repro/cmd/clipload")
 	cmd.Dir = ".."
 	if out, err := cmd.CombinedOutput(); err != nil {
 		panic("build failed: " + string(out))

@@ -225,9 +225,28 @@ func (e *Engine) maybeCompact() {
 	}
 }
 
+// Next returns the time of the earliest pending live event and whether
+// one exists. Cancelled events sitting on top of the heap are reclaimed
+// on the way (they were about to be discarded at pop time anyway), so
+// the reported time is always that of an event that will actually fire.
+func (e *Engine) Next() (float64, bool) {
+	for len(e.queue) > 0 {
+		top := e.queue[0]
+		if !top.cancelled {
+			return top.Time, true
+		}
+		e.pop()
+		e.cancelled--
+		e.reclaim(top)
+	}
+	return 0, false
+}
+
 // Run processes events until the queue is empty or time exceeds
 // horizon (0 = no horizon). It returns an error if the event count
-// exceeds maxSteps (runaway guard; 0 = default 50 million).
+// exceeds maxSteps (runaway guard; 0 = default 50 million). An event
+// past the horizon stays in the queue — a later Run or RunUntil still
+// fires it.
 func (e *Engine) Run(horizon float64, maxSteps int) error {
 	if maxSteps <= 0 {
 		maxSteps = 50_000_000
@@ -239,29 +258,76 @@ func (e *Engine) Run(horizon float64, maxSteps int) error {
 		mCompactions.Add(uint64(e.compactions - startComp))
 		gQueuePeak.SetMax(float64(e.maxDepth))
 	}()
-	for len(e.queue) > 0 {
-		ev := e.pop()
-		if ev.cancelled {
-			e.cancelled--
-			e.reclaim(ev)
-			continue
+	for {
+		next, ok := e.Next()
+		if !ok {
+			return nil
 		}
-		if horizon > 0 && ev.Time > horizon {
+		if horizon > 0 && next > horizon {
+			// Peek before pop: the over-horizon event must survive for
+			// a later Run/RunUntil, not be silently discarded.
 			e.now = horizon
 			return nil
 		}
-		if ev.Time < e.now-1e-9 {
-			return fmt.Errorf("des: time went backwards: %g < %g", ev.Time, e.now)
+		if err := e.step(maxSteps); err != nil {
+			return err
 		}
-		e.now = ev.Time
-		e.Steps++
-		if e.Steps > maxSteps {
-			return fmt.Errorf("des: exceeded %d events (runaway simulation?)", maxSteps)
-		}
-		fn := ev.fn
-		ev.eng = nil // pending no more: Cancel becomes a no-op
-		fn()
-		e.reclaim(ev)
 	}
+}
+
+// RunUntil fires every pending event due at or before t (in order) and
+// advances the virtual clock to exactly t. It is the driving primitive
+// of the wall-clock bridge: the online scheduler maps wall time to
+// virtual time and repeatedly asks the engine to catch up. maxSteps
+// bounds the events fired by this call (0 = default 1 million), so a
+// runaway cascade cannot wedge a live daemon.
+func (e *Engine) RunUntil(t float64, maxSteps int) error {
+	if t < e.now-1e-12 {
+		return fmt.Errorf("des: RunUntil %g before now %g", t, e.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("des: invalid RunUntil time %g", t)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	startSteps, startComp := e.Steps, e.compactions
+	defer func() {
+		mEvents.Add(uint64(e.Steps - startSteps))
+		mCompactions.Add(uint64(e.compactions - startComp))
+		gQueuePeak.SetMax(float64(e.maxDepth))
+	}()
+	budget := e.Steps + maxSteps
+	for {
+		next, ok := e.Next()
+		if !ok || next > t {
+			break
+		}
+		if err := e.step(budget); err != nil {
+			return err
+		}
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return nil
+}
+
+// step fires the earliest live event. Callers must have established via
+// Next that one exists.
+func (e *Engine) step(maxSteps int) error {
+	ev := e.pop()
+	if ev.Time < e.now-1e-9 {
+		return fmt.Errorf("des: time went backwards: %g < %g", ev.Time, e.now)
+	}
+	e.now = ev.Time
+	e.Steps++
+	if e.Steps > maxSteps {
+		return fmt.Errorf("des: exceeded %d events (runaway simulation?)", maxSteps)
+	}
+	fn := ev.fn
+	ev.eng = nil // pending no more: Cancel becomes a no-op
+	fn()
+	e.reclaim(ev)
 	return nil
 }

@@ -502,3 +502,115 @@ func TestEventKindCleared(t *testing.T) {
 		t.Errorf("recycled event carries stale Kind %d", next.Kind)
 	}
 }
+
+// TestRunHorizonKeepsOverHorizonEvent pins an edge-case fix: reaching
+// the horizon used to pop-and-discard the first over-horizon event, so
+// a later Run would never fire it. The event must survive.
+func TestRunHorizonKeepsOverHorizonEvent(t *testing.T) {
+	e := NewEngine()
+	fired := []float64{}
+	for _, at := range []float64{1, 2, 5, 9} {
+		at := at
+		if _, err := e.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.Run(3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || e.Now() != 3 {
+		t.Fatalf("after horizon 3: fired %v, now %v", fired, e.Now())
+	}
+	// The t=5 event was beyond the horizon; it must still be pending.
+	if err := e.Run(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 5, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("events lost across horizon: fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestNextSkipsCancelled: Next reports the earliest live event, pruning
+// cancelled tops, and reports nothing on an all-cancelled queue.
+func TestNextSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	ev1, _ := e.At(1, func() {})
+	ev2, _ := e.At(2, func() {})
+	if at, ok := e.Next(); !ok || at != 1 {
+		t.Fatalf("Next = %v,%v want 1,true", at, ok)
+	}
+	ev1.Cancel()
+	if at, ok := e.Next(); !ok || at != 2 {
+		t.Fatalf("Next after cancel = %v,%v want 2,true", at, ok)
+	}
+	ev2.Cancel()
+	if _, ok := e.Next(); ok {
+		t.Fatal("Next reported a live event on an all-cancelled queue")
+	}
+}
+
+// TestRunUntil drives the engine the way the wall-clock bridge does:
+// repeated catch-ups fire exactly the due events and land the clock on
+// the requested time even with no event there.
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	add := func(at float64) {
+		if _, err := e.At(at, func() { fired = append(fired, at) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1)
+	add(2.5)
+	add(7)
+	if err := e.RunUntil(2.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || e.Now() != 2.5 {
+		t.Fatalf("RunUntil(2.5): fired %v now %v", fired, e.Now())
+	}
+	if err := e.RunUntil(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || e.Now() != 4 {
+		t.Fatalf("RunUntil(4): fired %v now %v (clock must advance without events)", fired, e.Now())
+	}
+	// Events scheduled mid-catch-up at due times fire in the same call.
+	if _, err := e.At(5, func() { add(5.5); fired = append(fired, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunUntil(6, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 || fired[2] != 5 || fired[3] != 5.5 {
+		t.Fatalf("cascade: fired %v", fired)
+	}
+	if err := e.RunUntil(3, 0); err == nil {
+		t.Fatal("RunUntil accepted a time before now")
+	}
+	if err := e.RunUntil(e.Now(), 0); err != nil {
+		t.Fatalf("RunUntil(now) must be a no-op: %v", err)
+	}
+}
+
+// TestRunUntilStepBudget: the per-call step budget guards a live daemon
+// against a runaway event cascade.
+func TestRunUntilStepBudget(t *testing.T) {
+	e := NewEngine()
+	var reschedule func()
+	reschedule = func() {
+		if _, err := e.After(0.001, reschedule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reschedule()
+	if err := e.RunUntil(1e6, 100); err == nil {
+		t.Fatal("runaway cascade not caught by the step budget")
+	}
+}

@@ -182,11 +182,13 @@ func (st *schedState) stopFaults() {
 	st.faultEvs = nil
 }
 
-// jobDone retires one submitted job (finished or failed) and stops the
-// fault streams when none remain.
+// jobDone retires one submitted job (finished, failed or cancelled).
+// In a batch Run the fault streams stop with the last job so the engine
+// drains at the true makespan; an online session idles between
+// submissions, so its streams keep running until an explicit Drain.
 func (st *schedState) jobDone() {
 	st.jobsLeft--
-	if st.jobsLeft == 0 && st.inj != nil && !st.faultsStopped {
+	if st.jobsLeft == 0 && st.inj != nil && !st.faultsStopped && !st.online {
 		st.stopFaults()
 	}
 }
@@ -373,6 +375,9 @@ func (st *schedState) killJob(rj *runningJob, node int, cause string) {
 		return
 	}
 	ev.Kind = evkRequeue
+	if st.pendingRequeue != nil {
+		st.pendingRequeue[j.ID] = ev
+	}
 	st.logFault("retry", -1, j.ID, 0, fmt.Sprintf("attempt %d in %.2fs", attempt, backoff))
 }
 
@@ -380,6 +385,7 @@ func (st *schedState) killJob(rj *runningJob, node int, cause string) {
 func (st *schedState) requeue(j Job) {
 	start := time.Now()
 	defer func() { mEventSeconds.Observe(time.Since(start).Seconds()) }()
+	delete(st.pendingRequeue, j.ID)
 	if st.inj.AllDrained() {
 		st.failJob(j, "no nodes left: entire cluster drained")
 		st.publishState()
@@ -396,10 +402,14 @@ func (st *schedState) requeue(j Job) {
 
 // failJob reports a job permanently failed and retires it.
 func (st *schedState) failJob(j Job, reason string) {
-	st.stats.Failed = append(st.stats.Failed, FailedJob{
+	fj := FailedJob{
 		ID: j.ID, Arrival: j.Arrival, FailedAt: st.eng.Now(),
 		Retries: st.retries[j.ID], Reason: reason,
-	})
+	}
+	st.stats.Failed = append(st.stats.Failed, fj)
+	if st.hooks.onFail != nil {
+		st.hooks.onFail(fj)
+	}
 	st.logFault("fail", -1, j.ID, 0, reason)
 	delete(st.killedAt, j.ID)
 	st.jobDone()

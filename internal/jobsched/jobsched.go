@@ -257,6 +257,16 @@ type schedState struct {
 	lastAccount  float64
 	usedIntegral float64
 	failure      error
+	// online marks an incrementally driven run (Scheduler.Online): the
+	// fault streams outlive idle periods instead of stopping when the
+	// in-flight job count touches zero, and drain is explicit.
+	online bool
+	// hooks observe job lifecycle transitions (online driver support).
+	hooks lifecycleHooks
+	// pendingRequeue tracks the backoff event of each killed job so an
+	// online cancel can withdraw a job that is neither queued nor
+	// running.
+	pendingRequeue map[string]*des.Event
 	// fault injection (nil / unused without Config.Faults)
 	inj           *faults.Injector
 	runningOn     []*runningJob // node id -> resident job
@@ -270,28 +280,19 @@ type schedState struct {
 	jobsLeft      int // submitted jobs not yet finished or failed
 }
 
-// Run schedules the job list to completion and returns statistics.
-func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("jobsched: empty job list")
-	}
-	for i, j := range jobs {
-		if j.App == nil {
-			return nil, fmt.Errorf("jobsched: job %d has no application", i)
-		}
-		if j.Arrival < 0 {
-			return nil, fmt.Errorf("jobsched: job %q arrives before time zero", j.ID)
-		}
-	}
+// newState builds the mutable run state shared by the batch Run and
+// the incremental Online driver: free-node and free-watts accumulators,
+// the armed fault injector, and the bound-schedule events.
+func (s *Scheduler) newState(online bool) (*schedState, error) {
 	st := &schedState{
-		s:        s,
-		eng:      des.NewEngine(),
-		running:  make(map[string]*runningJob),
-		free:     make([]int, len(s.Cluster.Nodes)),
-		freeW:    s.Config.Bound,
-		bound:    s.Config.Bound,
-		stats:    &Stats{},
-		jobsLeft: len(jobs),
+		s:       s,
+		eng:     des.NewEngine(),
+		running: make(map[string]*runningJob),
+		free:    make([]int, len(s.Cluster.Nodes)),
+		freeW:   s.Config.Bound,
+		bound:   s.Config.Bound,
+		stats:   &Stats{},
+		online:  online,
 	}
 	for i := range st.free {
 		st.free[i] = i
@@ -315,6 +316,27 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 			return nil, err
 		}
 	}
+	return st, nil
+}
+
+// Run schedules the job list to completion and returns statistics.
+func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("jobsched: empty job list")
+	}
+	for i, j := range jobs {
+		if j.App == nil {
+			return nil, fmt.Errorf("jobsched: job %d has no application", i)
+		}
+		if j.Arrival < 0 {
+			return nil, fmt.Errorf("jobsched: job %q arrives before time zero", j.ID)
+		}
+	}
+	st, err := s.newState(false)
+	if err != nil {
+		return nil, err
+	}
+	st.jobsLeft = len(jobs)
 	sorted := append([]Job(nil), jobs...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
 	for _, j := range sorted {
@@ -617,6 +639,9 @@ func (st *schedState) finish(rj *runningJob) {
 	st.accountPower()
 	rj.result.Finish = st.eng.Now()
 	st.stats.Jobs = append(st.stats.Jobs, *rj.result)
+	if st.hooks.onFinish != nil {
+		st.hooks.onFinish(*rj.result)
+	}
 	delete(st.running, rj.job.ID)
 	st.shadowOK = false
 	st.freeW += rj.powerUsed

@@ -1,0 +1,469 @@
+package jobsched
+
+// Online driver: the incremental interface of the multi-job scheduler
+// that cmd/clipd serves over HTTP. Where Run executes a fixed job list
+// to completion, Online keeps the same deterministic DES core open and
+// lets a caller inject submissions and cancellations as simulation
+// events, advance virtual time in steps (the wall-clock bridge maps
+// real time onto these steps), query job and cluster state, and drain
+// the resident work on shutdown. The driver itself is single-threaded
+// — one virtual timeline, one event loop; concurrent callers must
+// serialise access (internal/server holds one lock around it).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/workload"
+)
+
+// Sentinel errors of the online driver, wrapped with job context;
+// callers classify with errors.Is (the HTTP layer maps them to status
+// codes).
+var (
+	// ErrUnknownJob: the job id was never submitted this session.
+	ErrUnknownJob = errors.New("jobsched: unknown job")
+	// ErrDuplicateJob: the job id was already submitted this session.
+	ErrDuplicateJob = errors.New("jobsched: duplicate job id")
+	// ErrJobTerminal: the operation needs a live job but the job already
+	// completed, failed or was cancelled.
+	ErrJobTerminal = errors.New("jobsched: job already terminal")
+)
+
+// JobState is an online job's lifecycle phase.
+type JobState int
+
+// Job lifecycle states of the online driver.
+const (
+	// JobQueued: admitted, waiting for nodes or power.
+	JobQueued JobState = iota
+	// JobRunning: placed on the cluster with a power budget.
+	JobRunning
+	// JobRetrying: killed by a fault, waiting out its retry backoff.
+	JobRetrying
+	// JobCompleted: ran to completion.
+	JobCompleted
+	// JobFailed: exhausted its retries or became unplaceable.
+	JobFailed
+	// JobCancelled: withdrawn by the caller; its power was reclaimed.
+	JobCancelled
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobRetrying:
+		return "retrying"
+	case JobCompleted:
+		return "completed"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Terminal reports whether the state is final (completed, failed or
+// cancelled).
+func (s JobState) Terminal() bool {
+	return s == JobCompleted || s == JobFailed || s == JobCancelled
+}
+
+// JobStatus is the externally visible state of one submitted job.
+type JobStatus struct {
+	ID    string
+	State JobState
+	// Arrival, Start and Finish are virtual timestamps (seconds);
+	// Start/Finish are zero until the respective transition. For a
+	// cancelled job Finish is the cancellation time.
+	Arrival float64
+	Start   float64
+	Finish  float64
+	// QueuePos is the 0-based position among waiting jobs (queued only).
+	QueuePos int
+	// Nodes, Cores and PerNodeW describe the placement of a running or
+	// completed job.
+	Nodes    []int
+	Cores    int
+	PerNodeW float64
+	// EstFinish is the scheduled completion time of a running job.
+	EstFinish float64
+	// Retries counts fault-kill → re-enqueue transitions so far.
+	Retries int
+	// ReclaimedW is the power returned to the pool by a cancellation.
+	ReclaimedW float64
+	// Reason explains a failure.
+	Reason string
+}
+
+// NodeState is one node's row in a ClusterState.
+type NodeState struct {
+	ID int
+	// Health is healthy, quarantined or drained (always healthy without
+	// fault injection).
+	Health string
+	// Derated marks an active power-cap excursion on the node.
+	Derated bool
+	// Job is the resident job id, empty when idle.
+	Job string
+}
+
+// ClusterState is a point-in-time view of the online cluster.
+type ClusterState struct {
+	Now float64
+	// BoundW >= AllocW + ReservedW at every event boundary (the bound
+	// invariant); FreeW is the unallocated remainder.
+	BoundW    float64
+	FreeW     float64
+	AllocW    float64
+	ReservedW float64
+	Queued    int
+	Running   int
+	Nodes     []NodeState
+}
+
+// lifecycleHooks observe job lifecycle transitions inside the event
+// handlers; the online driver uses them to keep its job index current.
+type lifecycleHooks struct {
+	onFinish func(JobResult)
+	onFail   func(FailedJob)
+}
+
+// jobRecord is the online driver's account of one submitted job.
+type jobRecord struct {
+	job        Job
+	state      JobState
+	result     JobResult // terminal snapshot (completed)
+	failed     FailedJob // terminal snapshot (failed)
+	finishedAt float64   // terminal time (cancellation time when cancelled)
+	reclaimedW float64   // power returned by a cancellation
+}
+
+// Online drives the scheduler incrementally. Not safe for concurrent
+// use; callers serialise access.
+type Online struct {
+	st   *schedState
+	jobs map[string]*jobRecord
+}
+
+// Online opens an incremental scheduling session over the scheduler's
+// cluster and configuration. Fault streams (Config.Faults) are armed on
+// the virtual timeline immediately and keep running through idle
+// periods; bound-schedule changes fire at their configured times.
+func (s *Scheduler) Online() (*Online, error) {
+	st, err := s.newState(true)
+	if err != nil {
+		return nil, err
+	}
+	if st.pendingRequeue == nil {
+		st.pendingRequeue = make(map[string]*des.Event)
+	}
+	o := &Online{st: st, jobs: make(map[string]*jobRecord)}
+	st.hooks = lifecycleHooks{
+		onFinish: func(r JobResult) {
+			if rec := o.jobs[r.ID]; rec != nil {
+				rec.state = JobCompleted
+				rec.result = r
+				rec.finishedAt = r.Finish
+			}
+		},
+		onFail: func(f FailedJob) {
+			if rec := o.jobs[f.ID]; rec != nil {
+				rec.state = JobFailed
+				rec.failed = f
+				rec.finishedAt = f.FailedAt
+			}
+		},
+	}
+	return o, nil
+}
+
+// Now returns the current virtual time in seconds.
+func (o *Online) Now() float64 { return o.st.eng.Now() }
+
+// Next returns the virtual time of the earliest pending event, if any —
+// the wall-clock bridge sleeps until that moment.
+func (o *Online) Next() (float64, bool) { return o.st.eng.Next() }
+
+// Err returns the first internal failure of the session (a
+// bound-invariant violation, a model error inside an event handler), if
+// any.
+func (o *Online) Err() error { return o.st.failure }
+
+// Advance fires every event due at or before virtual time t (in order)
+// and moves the clock there; t must be at or after Now.
+func (o *Online) Advance(t float64) error {
+	if err := o.st.eng.RunUntil(t, 0); err != nil {
+		return err
+	}
+	return o.st.failure
+}
+
+// Submit admits one job at the current virtual time. The arrival is
+// injected as a DES event and executed before Submit returns, so the
+// returned status already reflects the placement decision: running
+// (with its node set and budget) or queued. Job ids are unique for the
+// lifetime of the session.
+func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
+	if id == "" {
+		return JobStatus{}, fmt.Errorf("jobsched: empty job id")
+	}
+	if app == nil {
+		return JobStatus{}, fmt.Errorf("jobsched: job %q has no application", id)
+	}
+	if _, dup := o.jobs[id]; dup {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrDuplicateJob, id)
+	}
+	if o.st.failure != nil {
+		return JobStatus{}, o.st.failure
+	}
+	now := o.st.eng.Now()
+	j := Job{ID: id, App: app, Arrival: now}
+	o.jobs[id] = &jobRecord{job: j, state: JobQueued}
+	o.st.jobsLeft++
+	if _, err := o.st.eng.At(now, func() { o.st.arrive(j) }); err != nil {
+		return JobStatus{}, err
+	}
+	// Fire the arrival (and anything else already due at now) so the
+	// caller sees the placement decision synchronously.
+	if err := o.st.eng.RunUntil(now, 0); err != nil {
+		return JobStatus{}, err
+	}
+	if o.st.failure != nil {
+		return JobStatus{}, o.st.failure
+	}
+	return o.Status(id)
+}
+
+// Status reports the current state of a submitted job.
+func (o *Online) Status(id string) (JobStatus, error) {
+	rec, ok := o.jobs[id]
+	if !ok {
+		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	js := JobStatus{ID: id, Arrival: rec.job.Arrival, Retries: o.st.retries[id]}
+	switch rec.state {
+	case JobCompleted:
+		js.State = JobCompleted
+		js.Start = rec.result.Start
+		js.Finish = rec.result.Finish
+		js.Nodes = rec.result.NodeIDs
+		js.Cores = rec.result.Cores
+		js.PerNodeW = rec.result.PerNodeW
+		js.Retries = rec.result.Retries
+		return js, nil
+	case JobFailed:
+		js.State = JobFailed
+		js.Finish = rec.failed.FailedAt
+		js.Retries = rec.failed.Retries
+		js.Reason = rec.failed.Reason
+		return js, nil
+	case JobCancelled:
+		js.State = JobCancelled
+		js.Finish = rec.finishedAt
+		js.ReclaimedW = rec.reclaimedW
+		return js, nil
+	}
+	if rj := o.st.running[id]; rj != nil {
+		js.State = JobRunning
+		js.Start = rj.result.Start
+		js.Nodes = append([]int(nil), rj.globalIDs...)
+		js.Cores = rj.cores
+		js.PerNodeW = rj.perNode.Total()
+		js.EstFinish = rj.finishAt
+		return js, nil
+	}
+	if _, retrying := o.st.pendingRequeue[id]; retrying {
+		js.State = JobRetrying
+		return js, nil
+	}
+	js.State = JobQueued
+	pos := 0
+	for qi := o.st.qhead; qi < len(o.st.queue); qi++ {
+		e := &o.st.queue[qi]
+		if e.started {
+			continue
+		}
+		if e.job.ID == id {
+			break
+		}
+		pos++
+	}
+	js.QueuePos = pos
+	return js, nil
+}
+
+// Jobs lists every submitted job's status, ordered by id.
+func (o *Online) Jobs() []JobStatus {
+	ids := make([]string, 0, len(o.jobs))
+	for id := range o.jobs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		js, err := o.Status(id)
+		if err != nil {
+			continue
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// Cancel withdraws a job. A queued job leaves the queue; a running job
+// is stopped with its power returned to the pool (which may start
+// queued work immediately); a job waiting out a retry backoff has the
+// retry withdrawn. Cancelling a terminal job is an error. Returns the
+// watts reclaimed.
+func (o *Online) Cancel(id string) (float64, error) {
+	rec, ok := o.jobs[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	if rec.state.Terminal() {
+		return 0, fmt.Errorf("%w: job %q is %s", ErrJobTerminal, id, rec.state)
+	}
+	st := o.st
+	reclaimed := 0.0
+	switch {
+	case st.running[id] != nil:
+		rj := st.running[id]
+		st.accountPower()
+		if rj.completion != nil {
+			rj.completion.Cancel()
+			rj.completion = nil
+		}
+		delete(st.running, id)
+		st.shadowOK = false
+		reclaimed = rj.powerUsed
+		st.freeW += reclaimed
+		st.releaseNodes(rj.globalIDs)
+		st.jobDone()
+		st.dispatch()
+		if st.s.Config.Reallocate {
+			st.reallocate()
+		}
+		st.assertBound("cancel")
+	case st.pendingRequeue[id] != nil:
+		st.pendingRequeue[id].Cancel()
+		delete(st.pendingRequeue, id)
+		delete(st.killedAt, id)
+		st.jobDone()
+	default:
+		// Queued: tombstone the entry in place.
+		found := false
+		for qi := st.qhead; qi < len(st.queue); qi++ {
+			e := &st.queue[qi]
+			if !e.started && e.job.ID == id {
+				e.started = true
+				st.qlive--
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("jobsched: job %q not cancellable (inconsistent state)", id)
+		}
+		st.compactQueue()
+		st.jobDone()
+	}
+	rec.state = JobCancelled
+	rec.finishedAt = st.eng.Now()
+	rec.reclaimedW = reclaimed
+	st.publishState()
+	if st.failure != nil {
+		return reclaimed, st.failure
+	}
+	return reclaimed, nil
+}
+
+// Cluster snapshots the cluster's power decomposition, queue pressure
+// and per-node health at the current virtual time.
+func (o *Online) Cluster() ClusterState {
+	st := o.st
+	var alloc float64
+	for _, rj := range st.running {
+		alloc += rj.powerUsed
+	}
+	var resv float64
+	for _, r := range st.reserved {
+		resv += r
+	}
+	cs := ClusterState{
+		Now:       st.eng.Now(),
+		BoundW:    st.bound,
+		FreeW:     st.freeW,
+		AllocW:    alloc,
+		ReservedW: resv,
+		Queued:    st.qlive,
+		Running:   len(st.running),
+		Nodes:     make([]NodeState, len(st.s.Cluster.Nodes)),
+	}
+	resident := make(map[int]string)
+	for id, rj := range st.running {
+		for _, g := range rj.globalIDs {
+			resident[g] = id
+		}
+	}
+	for i := range cs.Nodes {
+		ns := NodeState{ID: i, Health: "healthy", Job: resident[i]}
+		if st.inj != nil {
+			ns.Health = st.inj.Health(i).String()
+			ns.Derated = st.nodeDerated(i)
+		}
+		cs.Nodes[i] = ns
+	}
+	return cs
+}
+
+// Drain ends the session: the fault streams are stopped first (so every
+// remaining event is finite), resident and retrying jobs run to
+// completion in virtual time, and queued jobs that still cannot start
+// once everything else has finished are failed. After Drain the event
+// queue is empty and every submitted job is terminal.
+func (o *Online) Drain() error {
+	st := o.st
+	if st.inj != nil && !st.faultsStopped {
+		st.stopFaults()
+	}
+	// Fast-forward: each completion releases power and may start queued
+	// work, so keep firing until no event remains. Fault streams are
+	// stopped, so the set of remaining events is finite (completions,
+	// requeues, bound changes).
+	for {
+		next, ok := st.eng.Next()
+		if !ok {
+			break
+		}
+		if err := st.eng.RunUntil(next, 0); err != nil {
+			return err
+		}
+		if st.failure != nil {
+			return st.failure
+		}
+	}
+	if st.qlive > 0 {
+		st.failQueued("daemon drained before the job could start")
+		st.publishState()
+	}
+	if st.failure != nil {
+		return st.failure
+	}
+	if st.jobsLeft != 0 || len(st.running) > 0 {
+		return fmt.Errorf("jobsched: drain left %d jobs unaccounted (%d running)",
+			st.jobsLeft, len(st.running))
+	}
+	return nil
+}
+
+// Pending reports how many submitted jobs are not yet terminal.
+func (o *Online) Pending() int { return o.st.jobsLeft }

@@ -1,0 +1,364 @@
+package jobsched
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/workload"
+)
+
+func online(t *testing.T, cfg Config) *Online {
+	t.Helper()
+	o, err := sched(t, cfg).Online()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestOnlineSubmitRunsToCompletion(t *testing.T) {
+	o := online(t, Config{Bound: 2000})
+	js, err := o.Submit("j1", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != JobRunning {
+		t.Fatalf("state after submit = %v, want running", js.State)
+	}
+	if len(js.Nodes) == 0 || js.PerNodeW <= 0 || js.EstFinish <= 0 {
+		t.Errorf("placement not reported: %+v", js)
+	}
+	if err := o.Advance(js.EstFinish); err != nil {
+		t.Fatal(err)
+	}
+	js, err = o.Status("j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != JobCompleted {
+		t.Fatalf("state after advance = %v, want completed", js.State)
+	}
+	if js.Finish <= 0 || js.Finish > o.Now()+1e-9 {
+		t.Errorf("finish %v out of range (now %v)", js.Finish, o.Now())
+	}
+	if o.Pending() != 0 {
+		t.Errorf("pending = %d after completion", o.Pending())
+	}
+}
+
+func TestOnlineSubmitValidation(t *testing.T) {
+	o := online(t, Config{Bound: 2000})
+	if _, err := o.Submit("", workload.CoMD()); err == nil {
+		t.Error("empty id accepted")
+	}
+	if _, err := o.Submit("x", nil); err == nil {
+		t.Error("nil app accepted")
+	}
+	if _, err := o.Submit("dup", workload.CoMD()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit("dup", workload.CoMD()); err == nil {
+		t.Error("duplicate id accepted")
+	}
+	if _, err := o.Status("nope"); err == nil {
+		t.Error("unknown job status did not error")
+	}
+	if _, err := o.Cancel("nope"); err == nil {
+		t.Error("unknown job cancel did not error")
+	}
+}
+
+func TestOnlineQueueingAndPositions(t *testing.T) {
+	// A bound only big enough for one job at a time: later submissions
+	// must queue in order.
+	o := online(t, Config{Bound: 320})
+	first, err := o.Submit("a", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.State != JobRunning {
+		t.Fatalf("first job %v, want running", first.State)
+	}
+	for i, id := range []string{"b", "c"} {
+		js, err := o.Submit(id, workload.CoMD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State != JobQueued {
+			t.Fatalf("job %s state %v, want queued", id, js.State)
+		}
+		if js.QueuePos != i {
+			t.Errorf("job %s queue position %d, want %d", id, js.QueuePos, i)
+		}
+	}
+	cs := o.Cluster()
+	if cs.Queued != 2 || cs.Running != 1 {
+		t.Errorf("cluster queued=%d running=%d, want 2/1", cs.Queued, cs.Running)
+	}
+	// Draining completes all three in queue order.
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b", "c"} {
+		js, err := o.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State != JobCompleted {
+			t.Errorf("job %s after drain: %v, want completed", id, js.State)
+		}
+	}
+}
+
+func TestOnlineCancelQueued(t *testing.T) {
+	o := online(t, Config{Bound: 320})
+	if _, err := o.Submit("a", workload.CoMD()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit("b", workload.CoMD()); err != nil {
+		t.Fatal(err)
+	}
+	w, err := o.Cancel("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Errorf("queued cancel reclaimed %v W, want 0", w)
+	}
+	js, _ := o.Status("b")
+	if js.State != JobCancelled {
+		t.Fatalf("state %v, want cancelled", js.State)
+	}
+	if _, err := o.Cancel("b"); err == nil {
+		t.Error("double cancel accepted")
+	}
+	if cs := o.Cluster(); cs.Queued != 0 {
+		t.Errorf("queued = %d after cancel", cs.Queued)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineCancelRunningReclaimsPowerAndStartsQueued(t *testing.T) {
+	o := online(t, Config{Bound: 320})
+	a, err := o.Submit("a", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Submit("b", workload.CoMD()); err != nil {
+		t.Fatal(err)
+	}
+	before := o.Cluster()
+	w, err := o.Cancel("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w <= 0 {
+		t.Fatalf("running cancel reclaimed %v W, want > 0", w)
+	}
+	wantW := a.PerNodeW * float64(len(a.Nodes))
+	if math.Abs(w-wantW) > 1e-6 {
+		t.Errorf("reclaimed %v W, want %v (per-node × nodes)", w, wantW)
+	}
+	js, _ := o.Status("a")
+	if js.State != JobCancelled || js.ReclaimedW != w {
+		t.Errorf("cancelled status %+v, want reclaimed %v", js, w)
+	}
+	// The freed power must have started the queued job immediately.
+	js, _ = o.Status("b")
+	if js.State != JobRunning {
+		t.Errorf("queued job after cancel: %v, want running", js.State)
+	}
+	after := o.Cluster()
+	if after.AllocW+after.ReservedW > after.BoundW+1e-6 {
+		t.Errorf("bound invariant violated after cancel: %+v", after)
+	}
+	if before.Running != 1 || after.Running != 1 {
+		t.Errorf("running count before/after = %d/%d, want 1/1", before.Running, after.Running)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineAdvanceAndNext(t *testing.T) {
+	o := online(t, Config{Bound: 2000})
+	if _, ok := o.Next(); ok {
+		t.Error("fresh session has a pending event")
+	}
+	js, err := o.Submit("a", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nt, ok := o.Next()
+	if !ok || math.Abs(nt-js.EstFinish) > 1e-9 {
+		t.Fatalf("Next = %v,%v, want completion at %v", nt, ok, js.EstFinish)
+	}
+	// Advancing short of the completion leaves the job running.
+	if err := o.Advance(nt / 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.Status("a"); got.State != JobRunning {
+		t.Fatalf("state mid-run %v, want running", got.State)
+	}
+	if o.Now() != nt/2 {
+		t.Errorf("Now = %v, want %v", o.Now(), nt/2)
+	}
+	if err := o.Advance(nt); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := o.Status("a"); got.State != JobCompleted {
+		t.Errorf("state at completion time %v, want completed", got.State)
+	}
+}
+
+func TestOnlineClusterSnapshot(t *testing.T) {
+	o := online(t, Config{Bound: 2000})
+	cs := o.Cluster()
+	if cs.BoundW != 2000 || cs.FreeW != 2000 || cs.AllocW != 0 {
+		t.Errorf("fresh cluster %+v", cs)
+	}
+	if len(cs.Nodes) != len(testCl.Nodes) {
+		t.Fatalf("nodes %d, want %d", len(cs.Nodes), len(testCl.Nodes))
+	}
+	for _, n := range cs.Nodes {
+		if n.Health != "healthy" || n.Job != "" || n.Derated {
+			t.Errorf("fresh node %+v", n)
+		}
+	}
+	js, err := o.Submit("a", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = o.Cluster()
+	if math.Abs(cs.BoundW-(cs.FreeW+cs.AllocW+cs.ReservedW)) > 1e-6 {
+		t.Errorf("power decomposition does not add up: %+v", cs)
+	}
+	occupied := 0
+	for _, n := range cs.Nodes {
+		if n.Job == "a" {
+			occupied++
+		}
+	}
+	if occupied != len(js.Nodes) {
+		t.Errorf("%d nodes report job a, placement has %d", occupied, len(js.Nodes))
+	}
+}
+
+func TestOnlineDrainFailsUnstartableQueued(t *testing.T) {
+	// Bound so low nothing can ever start: drain must fail the queued
+	// job rather than hang or leave it pending.
+	o := online(t, Config{Bound: 2})
+	js, err := o.Submit("a", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.State != JobQueued {
+		t.Fatalf("state %v, want queued (bound too low to start)", js.State)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	js, _ = o.Status("a")
+	if js.State != JobFailed {
+		t.Fatalf("state after drain %v, want failed", js.State)
+	}
+	if !strings.Contains(js.Reason, "drained") {
+		t.Errorf("failure reason %q does not mention drain", js.Reason)
+	}
+	if o.Pending() != 0 {
+		t.Errorf("pending = %d after drain", o.Pending())
+	}
+}
+
+func TestOnlineWithFaultsSurvivesIdleAndDrains(t *testing.T) {
+	// Aggressive crash/excursion faults. The session must keep its fault
+	// streams alive through an idle period (jobsLeft touches zero between
+	// submissions), retry killed jobs, and drain with every job terminal
+	// and the bound invariant intact.
+	o := online(t, Config{Bound: 2000, Reallocate: true,
+		Faults: &faults.Scenario{Seed: 7, CrashMTBF: 60, MTTR: 10, ExcursionMTBF: 80}})
+	first, err := o.Submit("warm", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Advance(first.EstFinish + 1); err != nil {
+		t.Fatal(err)
+	}
+	// Idle gap: faults keep firing with nothing running.
+	if err := o.Advance(o.Now() + 200); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"x", "y", "z"} {
+		if _, err := o.Submit(id, workload.CoMD()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, js := range o.Jobs() {
+		if !js.State.Terminal() {
+			t.Errorf("job %s not terminal after drain: %v", js.ID, js.State)
+		}
+	}
+	if _, ok := o.Next(); ok {
+		t.Error("events remain after drain")
+	}
+	cs := o.Cluster()
+	if cs.AllocW != 0 || cs.Running != 0 {
+		t.Errorf("cluster not empty after drain: %+v", cs)
+	}
+}
+
+func TestOnlineCancelRetryingJob(t *testing.T) {
+	// Find a seed/scenario where a job gets killed and enters backoff,
+	// then cancel it mid-backoff.
+	o := online(t, Config{Bound: 2000,
+		Faults: &faults.Scenario{Seed: 3, CrashMTBF: 8, MTTR: 500}})
+	js, err := o.Submit("victim", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := js.EstFinish * 100
+	cancelled := false
+	for o.Now() < deadline {
+		st, err := o.Status("victim")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobRetrying {
+			if _, err := o.Cancel("victim"); err != nil {
+				t.Fatal(err)
+			}
+			cancelled = true
+			break
+		}
+		if st.State.Terminal() {
+			break
+		}
+		nt, ok := o.Next()
+		if !ok {
+			break
+		}
+		if err := o.Advance(nt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !cancelled {
+		t.Skip("scenario never produced a retrying job; covered elsewhere")
+	}
+	st, _ := o.Status("victim")
+	if st.State != JobCancelled {
+		t.Fatalf("state %v, want cancelled", st.State)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if o.Pending() != 0 {
+		t.Errorf("pending = %d", o.Pending())
+	}
+}

@@ -46,9 +46,12 @@ func (b Budget) String() string {
 // domain is exhausted — DRAM refresh power buys proportionally more
 // performance than the last DVFS step, so an emergency re-cap (thermal
 // derate, sensor excursion) should starve compute before bandwidth.
-// frac <= 0 returns the budget unchanged; frac >= 1 returns zero.
+// frac <= 0 (or NaN, a degenerate rate) returns the budget unchanged;
+// frac >= 1 returns zero. Both domains of the result are clamped at
+// zero so the derated budget always satisfies Valid(), even when float
+// rounding leaves a sub-ULP negative residue in the exhausted domain.
 func DerateBudget(b Budget, frac float64) Budget {
-	if frac <= 0 {
+	if frac <= 0 || math.IsNaN(frac) {
 		return b
 	}
 	if frac >= 1 {
@@ -56,9 +59,18 @@ func DerateBudget(b Budget, frac float64) Budget {
 	}
 	cut := b.Total() * frac
 	if cut <= b.CPU {
-		return Budget{CPU: b.CPU - cut, Mem: b.Mem}
+		return Budget{CPU: clampWatts(b.CPU - cut), Mem: b.Mem}
 	}
-	return Budget{CPU: 0, Mem: b.Mem - (cut - b.CPU)}
+	return Budget{CPU: 0, Mem: clampWatts(b.Mem - (cut - b.CPU))}
+}
+
+// clampWatts zeroes negative (or NaN) float residue in a derated power
+// domain.
+func clampWatts(w float64) float64 {
+	if w > 0 {
+		return w
+	}
+	return 0
 }
 
 // CPUPower returns the CPU-domain power of one node in watts when

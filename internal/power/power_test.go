@@ -304,3 +304,69 @@ func TestDerateBudget(t *testing.T) {
 		t.Errorf("derated total %v, want 19.5", tot)
 	}
 }
+
+// TestDerateBudgetDegenerateFrac pins the emergency-re-cap guard: a NaN
+// derate fraction (possible from a degenerate rate computation, e.g.
+// 0/0 over a zero interval) must leave the budget untouched rather than
+// poisoning both domains and failing Valid() mid-re-cap.
+func TestDerateBudgetDegenerateFrac(t *testing.T) {
+	b := Budget{CPU: 100, Mem: 30}
+	got := DerateBudget(b, math.NaN())
+	if !got.Valid() {
+		t.Fatalf("DerateBudget(b, NaN) = %v, not Valid", got)
+	}
+	if got != b {
+		t.Errorf("DerateBudget(b, NaN) = %v, want the budget unchanged", got)
+	}
+}
+
+// TestDerateBudgetAlwaysValid is the property test over random budgets
+// and fractions: the derated budget always satisfies Valid() (both
+// domains clamped at zero against float-rounding residue on the
+// cut > CPU path) and never exceeds the original total.
+func TestDerateBudgetAlwaysValid(t *testing.T) {
+	property := func(cpuBits, memBits uint32, fracBits uint64) bool {
+		// Budgets spanning many magnitudes, fractions covering the
+		// whole line including values within an ULP of 1.
+		cpu := float64(cpuBits) * math.Pow(2, float64(int(cpuBits%64))-40)
+		mem := float64(memBits) * math.Pow(2, float64(int(memBits%64))-40)
+		frac := math.Float64frombits(fracBits)
+		if math.IsInf(cpu, 0) || math.IsInf(mem, 0) {
+			return true
+		}
+		b := Budget{CPU: cpu, Mem: mem}
+		d := DerateBudget(b, frac)
+		if !d.Valid() {
+			t.Logf("DerateBudget(%v, %v) = %+v invalid", b, frac, d)
+			return false
+		}
+		if frac > 0 && frac < 1 && d.Total() > b.Total()*(1+1e-12) {
+			t.Logf("DerateBudget(%v, %v) grew the budget to %+v", b, frac, d)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	// Deterministic edge sweep: fractions within a few ULPs of the
+	// branch boundaries for budgets with extreme domain ratios.
+	fracs := []float64{
+		math.SmallestNonzeroFloat64, 1e-300, 0.5,
+		math.Nextafter(1, 0), 1 - 1e-15, 1 - 1e-12,
+	}
+	budgets := []Budget{
+		{CPU: 1, Mem: math.SmallestNonzeroFloat64},
+		{CPU: 250, Mem: 2.842170943040401e-14},
+		{CPU: math.MaxFloat64 / 4, Mem: 1},
+		{CPU: 0, Mem: 35},
+		{CPU: 85, Mem: 0},
+	}
+	for _, b := range budgets {
+		for _, f := range fracs {
+			if d := DerateBudget(b, f); !d.Valid() {
+				t.Errorf("DerateBudget(%v, %v) = %+v invalid", b, f, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package server
+
+// HTTP surface of clipd: JSON wire types, the route table, and the
+// mapping from driver errors to status codes. Every handler runs under
+// a per-request deadline (Options.RequestTimeout); scheduler-lock
+// contention past the deadline surfaces as 503 + Retry-After rather
+// than an open socket waiting forever.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/jobsched"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	// ID optionally names the job; empty means the server assigns
+	// job-<n>.
+	ID string `json:"id,omitempty"`
+	// App is the application name (workload.SuiteByName).
+	App string `json:"app"`
+}
+
+// JobJSON is the wire form of a job status.
+type JobJSON struct {
+	ID       string  `json:"id"`
+	State    string  `json:"state"`
+	ArrivalS float64 `json:"arrival_s"`
+	StartS   float64 `json:"start_s,omitempty"`
+	FinishS  float64 `json:"finish_s,omitempty"`
+	QueuePos int     `json:"queue_pos,omitempty"`
+	Nodes    []int   `json:"nodes,omitempty"`
+	Cores    int     `json:"cores,omitempty"`
+	PerNodeW float64 `json:"per_node_watts,omitempty"`
+	EstEndS  float64 `json:"est_finish_s,omitempty"`
+	Retries  int     `json:"retries,omitempty"`
+	Reclaim  float64 `json:"reclaimed_watts,omitempty"`
+	Reason   string  `json:"reason,omitempty"`
+}
+
+// NodeJSON is the wire form of one node's state.
+type NodeJSON struct {
+	ID      int    `json:"id"`
+	Health  string `json:"health"`
+	Derated bool   `json:"derated,omitempty"`
+	Job     string `json:"job,omitempty"`
+}
+
+// ClusterJSON is the wire form of GET /v1/cluster.
+type ClusterJSON struct {
+	NowS      float64    `json:"now_s"`
+	BoundW    float64    `json:"bound_watts"`
+	FreeW     float64    `json:"free_watts"`
+	AllocW    float64    `json:"allocated_watts"`
+	ReservedW float64    `json:"reserved_watts"`
+	Queued    int        `json:"queued"`
+	Running   int        `json:"running"`
+	Draining  bool       `json:"draining,omitempty"`
+	Nodes     []NodeJSON `json:"nodes"`
+}
+
+// ErrorJSON is the wire form of every non-2xx response.
+type ErrorJSON struct {
+	Error string `json:"error"`
+}
+
+// jobJSON converts a driver status to its wire form.
+func jobJSON(js jobsched.JobStatus) JobJSON {
+	return JobJSON{
+		ID: js.ID, State: js.State.String(),
+		ArrivalS: js.Arrival, StartS: js.Start, FinishS: js.Finish,
+		QueuePos: js.QueuePos, Nodes: js.Nodes, Cores: js.Cores,
+		PerNodeW: js.PerNodeW, EstEndS: js.EstFinish,
+		Retries: js.Retries, Reclaim: js.ReclaimedW, Reason: js.Reason,
+	}
+}
+
+// clusterJSON converts a cluster snapshot to its wire form.
+func clusterJSON(cs jobsched.ClusterState, draining bool) ClusterJSON {
+	out := ClusterJSON{
+		NowS: cs.Now, BoundW: cs.BoundW, FreeW: cs.FreeW,
+		AllocW: cs.AllocW, ReservedW: cs.ReservedW,
+		Queued: cs.Queued, Running: cs.Running, Draining: draining,
+		Nodes: make([]NodeJSON, len(cs.Nodes)),
+	}
+	for i, n := range cs.Nodes {
+		out.Nodes[i] = NodeJSON{ID: n.ID, Health: n.Health, Derated: n.Derated, Job: n.Job}
+	}
+	return out
+}
+
+// errUnknownApp distinguishes a bad app name (400) from internal
+// failures (500).
+var errUnknownApp = errors.New("server: unknown application")
+
+// resolveApp looks an application up by suite name.
+func resolveApp(name string) (*workload.Spec, error) {
+	if name == "" {
+		return nil, errUnknownApp
+	}
+	spec, err := workload.SuiteByName(name)
+	if err != nil {
+		return nil, errUnknownApp
+	}
+	return spec, nil
+}
+
+// Handler returns the daemon's full route table, including the
+// registry's /metrics and /telemetry.json exposition.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("status", s.handleStatus))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
+	mux.HandleFunc("GET /v1/cluster", s.instrument("cluster", s.handleCluster))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	tele := telemetry.Handler(s.opts.Registry)
+	mux.Handle("/metrics", tele)
+	mux.Handle("/telemetry.json", tele)
+	return mux
+}
+
+// instrument counts the request and observes its wall latency into the
+// route's histogram.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.hRoutes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.mReqs.Inc()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// reqCtx applies the per-request deadline.
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+}
+
+// writeJSON renders one response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps a driver/server error to its HTTP status.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errQueueFull):
+		code = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+		s.mRejected.Inc()
+	case errors.Is(err, errDraining):
+		code = http.StatusServiceUnavailable
+		s.mRejected.Inc()
+	case errors.Is(err, errBusy):
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errUnknownApp):
+		code = http.StatusBadRequest
+	case errors.Is(err, jobsched.ErrUnknownJob):
+		code = http.StatusNotFound
+	case errors.Is(err, jobsched.ErrDuplicateJob),
+		errors.Is(err, jobsched.ErrJobTerminal):
+		code = http.StatusConflict
+	}
+	writeJSON(w, code, ErrorJSON{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	js, err := s.submit(ctx, req.ID, req.App)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, jobJSON(js))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	list, err := s.jobs(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	out := make([]JobJSON, len(list))
+	for i, js := range list {
+		out[i] = jobJSON(js)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	js, err := s.status(ctx, r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(js))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	js, err := s.cancel(ctx, r.PathValue("id"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(js))
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	cs, err := s.cluster(ctx)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, clusterJSON(cs, s.draining.Load()))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if err := s.Failed(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ErrorJSON{Error: err.Error()})
+		return
+	}
+	state := "ok"
+	if s.draining.Load() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+}

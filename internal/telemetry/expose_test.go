@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -157,5 +158,43 @@ func TestServe(t *testing.T) {
 	body, _ := io.ReadAll(resp.Body)
 	if !strings.Contains(string(body), "clip_schedules_total") {
 		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+}
+
+// TestHistogramNonFiniteExposition pins the scrape-safety guard: NaN
+// and Inf observations (a degenerate rate, a zero-interval division)
+// are dropped and negative ones clamped, so the Prometheus text
+// exposition never renders a NaN/Inf sum that would break scrapers.
+func TestHistogramNonFiniteExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("clip_test_poison_seconds", "poison guard", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(-3) // clamped to 0, lands in the first bucket
+
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2 (finite observations only)", got)
+	}
+	if got := h.Sum(); got != 0.5 {
+		t.Errorf("Sum = %v, want 0.5 (NaN/Inf dropped, negative clamped)", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into the exposition:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "_sum") && strings.Contains(line, "Inf") {
+			t.Errorf("non-finite sum rendered: %q", line)
+		}
+	}
+	if !strings.Contains(out, `clip_test_poison_seconds_bucket{le="1"} 2`) {
+		t.Errorf("finite+clamped observations missing from buckets:\n%s", out)
 	}
 }

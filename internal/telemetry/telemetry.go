@@ -101,8 +101,19 @@ type Histogram struct {
 	sum    atomic.Uint64 // float64 bits
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite observations (a NaN from a
+// degenerate rate, an Inf from a division by a zero interval) are
+// dropped — a single NaN would poison the running sum forever and
+// render as NaN in the Prometheus text exposition, breaking scrapers.
+// Negative values (possible from a zero-duration timing on a coarse
+// clock) are clamped to zero so the sum stays monotone.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.count.Add(1)

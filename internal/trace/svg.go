@@ -58,10 +58,19 @@ func SVGLineChart(w io.Writer, title, xLabel, yLabel string, x []float64, names 
 	if len(x) == 0 || len(ys) == 0 {
 		return fmt.Errorf("trace: empty chart %q", title)
 	}
-	xMin, xMax := x[0], x[0]
+	// Bounds are computed over finite values only: a NaN or Inf in the
+	// x series would otherwise poison xMin/xMax and scale every point
+	// to NaN coordinates.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
 	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
 		xMin = math.Min(xMin, v)
 		xMax = math.Max(xMax, v)
+	}
+	if xMin > xMax {
+		return fmt.Errorf("trace: chart %q has no finite x value", title)
 	}
 	yMax := 0.0
 	for _, s := range ys {
@@ -73,6 +82,8 @@ func SVGLineChart(w io.Writer, title, xLabel, yLabel string, x []float64, names 
 	}
 	yMax = niceCeil(yMax)
 	if xMax == xMin {
+		// Single-point or flat x series: widen the degenerate range so
+		// the coordinate scale below never divides by zero.
 		xMax = xMin + 1
 	}
 
@@ -113,7 +124,8 @@ func SVGLineChart(w io.Writer, title, xLabel, yLabel string, x []float64, names 
 		color := seriesPalette[si%len(seriesPalette)]
 		var pts []string
 		for i, v := range s {
-			if i >= len(x) || math.IsNaN(v) || math.IsInf(v, 0) {
+			if i >= len(x) || math.IsNaN(v) || math.IsInf(v, 0) ||
+				math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
 				continue
 			}
 			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x[i]), py(v)))
@@ -144,6 +156,10 @@ func SVGBarChart(w io.Writer, title string, labels []string, names []string, val
 	yMax := 0.0
 	for _, s := range values {
 		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				// A poisoned value must not poison the axis scale.
+				continue
+			}
 			yMax = math.Max(yMax, v)
 		}
 	}
@@ -174,7 +190,15 @@ func SVGBarChart(w io.Writer, title string, labels []string, names []string, val
 				continue
 			}
 			v := values[si][gi]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue // cannot be drawn; skip rather than emit NaN
+			}
 			h := v / yMax * svgPlotH
+			if h < 0 {
+				// A negative value in an all-positive-axis bar chart
+				// would render as an invalid negative-height rect.
+				h = 0
+			}
 			bx := gx + groupW*0.1 + float64(si)*barW
 			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
 				bx, svgMarginT+svgPlotH-h, barW*0.92, h, seriesPalette[si%len(seriesPalette)])

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -131,5 +132,73 @@ func TestSVGCoordinatesBounded(t *testing.T) {
 				t.Errorf("point %q outside canvas", pair)
 			}
 		}
+	}
+}
+
+// TestSVGLineChartFlatAndSinglePoint pins the degenerate-range guard: a
+// single-point chart and an all-equal (range-zero) series must scale to
+// finite in-canvas coordinates instead of dividing by a zero range.
+func TestSVGLineChartFlatAndSinglePoint(t *testing.T) {
+	cases := []struct {
+		name string
+		x    []float64
+		ys   [][]float64
+	}{
+		{"single-point", []float64{5}, [][]float64{{2}}},
+		{"flat-series", []float64{3, 3, 3}, [][]float64{{7, 7, 7}}},
+		{"flat-zero", []float64{0, 1, 2}, [][]float64{{0, 0, 0}}},
+	}
+	for _, c := range cases {
+		var sb strings.Builder
+		if err := SVGLineChart(&sb, c.name, "x", "y", c.x, []string{"s"}, c.ys); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		out := sb.String()
+		if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+			t.Errorf("%s: non-finite coordinate leaked:\n%s", c.name, out)
+		}
+		if !strings.Contains(out, "<polyline") {
+			t.Errorf("%s: series not drawn", c.name)
+		}
+	}
+}
+
+// TestSVGLineChartNonFiniteX: a NaN or Inf in the x series must not
+// poison the axis range (every coordinate would become NaN) and the
+// affected points are skipped like non-finite y values already are.
+func TestSVGLineChartNonFiniteX(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	var sb strings.Builder
+	err := SVGLineChart(&sb, "T", "x", "y",
+		[]float64{1, nan, 3, inf}, []string{"s"}, [][]float64{{1, 2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sb.String(); strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("non-finite x leaked into SVG:\n%s", out)
+	}
+	// An x series with no finite value at all cannot be scaled.
+	sb.Reset()
+	if err := SVGLineChart(&sb, "T", "x", "y", []float64{nan}, []string{"s"}, [][]float64{{1}}); err == nil {
+		t.Error("all-NaN x axis accepted")
+	}
+}
+
+// TestSVGBarChartDegenerateValues: NaN values must not reach the axis
+// scale or the rect heights, and negative values must not render as
+// invalid negative-height rects.
+func TestSVGBarChartDegenerateValues(t *testing.T) {
+	var sb strings.Builder
+	err := SVGBarChart(&sb, "T", []string{"a", "b", "c"}, []string{"s"},
+		[][]float64{{1, math.NaN(), -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into bar chart:\n%s", out)
+	}
+	if strings.Contains(out, `height="-`) {
+		t.Errorf("negative-height rect emitted:\n%s", out)
 	}
 }

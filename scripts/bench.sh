@@ -39,6 +39,27 @@ echo "== chaos sweep ==" >&2
 "$TMP/clipbench" -exp chaos -telemetry-out '' | tee "$TMP/chaos_full.txt" >&2
 grep '^chaos scenario=' "$TMP/chaos_full.txt" > "$TMP/chaos.txt"
 
+echo "== clipd serving throughput ==" >&2
+go build -o "$TMP/clipd" ./cmd/clipd
+go build -o "$TMP/clipload" ./cmd/clipload
+"$TMP/clipd" -listen 127.0.0.1:0 -budget 1200 -timescale 120 \
+    > "$TMP/clipd.log" 2>&1 &
+CLIPD_PID=$!
+ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    ADDR=$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' "$TMP/clipd.log")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "clipd did not start" >&2; cat "$TMP/clipd.log" >&2; exit 1; }
+"$TMP/clipload" -addr "$ADDR" -rps 500 -duration 10s -seed 1 \
+    | tee "$TMP/clipload_full.txt" >&2
+grep '^clipload ' "$TMP/clipload_full.txt" > "$TMP/clipload.txt"
+kill -TERM "$CLIPD_PID"
+wait "$CLIPD_PID" || { echo "clipd exited non-zero after drain" >&2; exit 1; }
+
 awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
 /^Benchmark/ {
     name = $1
@@ -63,6 +84,16 @@ awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
     }
     cbody[cn] = body
 }
+/^clipload / {
+    # "clipload k=v k=v ..." -> one JSON object of serving-path metrics
+    lbody = ""
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        k = substr($(i), 1, eq - 1)
+        v = substr($(i), eq + 1)
+        lbody = lbody sprintf("%s\"%s\": %s", lbody == "" ? "" : ", ", k, v)
+    }
+}
 END {
     printf "{\n  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -76,9 +107,10 @@ END {
     for (i = 1; i <= cn; i++)
         printf "    \"%s\": {%s}%s\n", cname[i], cbody[i], i < cn ? "," : ""
     printf "  },\n"
+    printf "  \"clipload\": {%s},\n", lbody
     printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
     printf "}\n"
-}' "$TMP/bench.txt" "$TMP/chaos.txt" > "$OUT"
+}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" > "$OUT"
 
 echo "wrote $OUT" >&2
 cat "$OUT"
