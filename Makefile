@@ -24,7 +24,9 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 ./internal/jobsched/... ./internal/server/...
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
+	./scripts/bench_compare.sh
 	$(GO) run ./cmd/clipsim -app sp-mz.C -budget 1200 \
 		-faults "crash-mtbf=120,mttr=20,exc-mtbf=240,seed=7" \
 		| grep -q "bound-invariant: ok"

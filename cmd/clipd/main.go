@@ -12,6 +12,7 @@
 // API:
 //
 //	POST   /v1/jobs        {"id":"my-job","app":"comd"} → 201 + placement
+//	POST   /v1/jobs:batch  {"jobs":[{"app":"comd"},...]} → per-entry results
 //	GET    /v1/jobs        all jobs
 //	GET    /v1/jobs/{id}   one job's lifecycle
 //	DELETE /v1/jobs/{id}   cancel; reclaimed watts go back to the pool
@@ -21,7 +22,8 @@
 //	GET    /telemetry.json JSON telemetry snapshot
 //
 // Submissions past the admission queue depth are rejected with 429 +
-// Retry-After; during drain with 503. On SIGINT/SIGTERM the daemon
+// Retry-After; during drain with 503. With -pprof the Go profiler is
+// served under /debug/pprof/ on the same listener. On SIGINT/SIGTERM the daemon
 // stops admitting, finishes resident jobs in virtual time (unstartable
 // queued work is failed with an explicit reason), prints a final job
 // report, optionally writes the telemetry report, and exits 0.
@@ -57,10 +59,11 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 5*time.Second, "per-request deadline")
 	faultSpec := flag.String("faults", "", "live fault injection as key=value pairs, e.g. \"crash-mtbf=120,mttr=20,seed=7\"")
 	teleOut := flag.String("telemetry-out", "", "write a telemetry report (JSON) here after drain")
+	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
 	flag.Parse()
 
 	if err := run(*listen, *budget, *nodes, *sigma, *policy, *realloc,
-		*timescale, *queueDepth, *reqTimeout, *faultSpec, *teleOut); err != nil {
+		*timescale, *queueDepth, *reqTimeout, *faultSpec, *teleOut, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "clipd:", err)
 		os.Exit(1)
 	}
@@ -68,7 +71,7 @@ func main() {
 
 func run(listen string, budget float64, nodes int, sigma float64, policyName string,
 	realloc bool, timescale float64, queueDepth int, reqTimeout time.Duration,
-	faultSpec, teleOut string) error {
+	faultSpec, teleOut string, pprof bool) error {
 	policy, err := parsePolicy(policyName)
 	if err != nil {
 		return err
@@ -94,6 +97,7 @@ func run(listen string, budget float64, nodes int, sigma float64, policyName str
 		Timescale:      timescale,
 		QueueDepth:     queueDepth,
 		RequestTimeout: reqTimeout,
+		Pprof:          pprof,
 	})
 	if err != nil {
 		return err

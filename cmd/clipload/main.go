@@ -6,6 +6,7 @@
 //
 //	clipload -addr 127.0.0.1:8080 -rps 500 -duration 10s
 //	clipload -addr 127.0.0.1:8080 -rps 200 -cancel 0.3 -seed 7
+//	clipload -addr 127.0.0.1:8080 -rps 50000 -batch 256 -duration 10s
 //
 // The generator is open-loop: submissions are dispatched on a fixed
 // tick regardless of response latency, so daemon backpressure shows up
@@ -41,10 +42,15 @@ func main() {
 	apps := flag.String("apps", "comd,amg,minimd", "comma-separated app names to submit")
 	cancelFrac := flag.Float64("cancel", 0, "fraction of accepted jobs to cancel right after submit")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	batch := flag.Int("batch", 1, "jobs per request; >1 uses POST /v1/jobs:batch (offered job rate stays -rps)")
 	flag.Parse()
 
 	if *rps <= 0 || *duration <= 0 {
 		fmt.Fprintln(os.Stderr, "clipload: -rps and -duration must be positive")
+		os.Exit(2)
+	}
+	if *batch < 1 {
+		fmt.Fprintln(os.Stderr, "clipload: -batch must be >= 1")
 		os.Exit(2)
 	}
 	names := strings.Split(*apps, ",")
@@ -52,7 +58,9 @@ func main() {
 	client := &http.Client{Timeout: *timeout}
 
 	rng := rand.New(rand.NewSource(*seed))
-	interval := time.Duration(float64(time.Second) / *rps)
+	// With batching, each tick carries -batch jobs: the tick rate drops
+	// so the offered job rate stays at -rps.
+	interval := time.Duration(float64(*batch) * float64(time.Second) / *rps)
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	stop := time.After(*duration)
@@ -77,6 +85,32 @@ loop:
 		case <-stop:
 			break loop
 		case <-ticker.C:
+		}
+		if *batch > 1 {
+			entries := make([]submitEntry, *batch)
+			for i := range entries {
+				sent++
+				entries[i] = submitEntry{
+					ID:     fmt.Sprintf("load-%d", sent),
+					App:    names[rng.Intn(len(names))],
+					cancel: rng.Float64() < *cancelFrac,
+				}
+			}
+			select {
+			case inflight <- struct{}{}:
+			default:
+				mu.Lock()
+				errs += len(entries)
+				mu.Unlock()
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-inflight }()
+				submitBatch(client, base, entries, &mu, &latencies, &ok, &rej, &errs, &cancels)
+			}()
+			continue
 		}
 		sent++
 		id := fmt.Sprintf("load-%d", sent)
@@ -142,7 +176,8 @@ loop:
 	}
 	achieved := float64(ok) / elapsed
 
-	fmt.Printf("clipload: %s for %.1fs at target %.0f rps (seed %d)\n", base, elapsed, *rps, *seed)
+	fmt.Printf("clipload: %s for %.1fs at target %.0f rps, batch %d (seed %d)\n",
+		base, elapsed, *rps, *batch, *seed)
 	fmt.Printf("  sent      %d\n", sent)
 	fmt.Printf("  accepted  %d (%.1f/s achieved)\n", ok, achieved)
 	fmt.Printf("  rejected  %d (429/503 backpressure)\n", rej)
@@ -150,13 +185,96 @@ loop:
 	fmt.Printf("  cancelled %d\n", cancels)
 	fmt.Printf("  submit latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
-	fmt.Printf("clipload target_rps=%.0f sent=%d ok=%d rejected=%d errors=%d cancelled=%d "+
+	fmt.Printf("clipload target_rps=%.0f batch=%d sent=%d ok=%d rejected=%d errors=%d cancelled=%d "+
 		"achieved_rps=%.1f p50_ms=%.3f p90_ms=%.3f p99_ms=%.3f max_ms=%.3f\n",
-		*rps, sent, ok, rej, errs, cancels, achieved,
+		*rps, *batch, sent, ok, rej, errs, cancels, achieved,
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 
 	if ok == 0 {
 		fmt.Fprintln(os.Stderr, "clipload: no submission was accepted")
 		os.Exit(1)
+	}
+}
+
+// submitEntry is one job of a batch request plus its cancel decision
+// (drawn up front so the stream stays deterministic for a given seed).
+type submitEntry struct {
+	ID     string `json:"id"`
+	App    string `json:"app"`
+	cancel bool
+}
+
+// batchEntryResult mirrors the server's per-entry batch response.
+type batchEntryResult struct {
+	Job *struct {
+		ID string `json:"id"`
+	} `json:"job"`
+	Code int `json:"code"`
+}
+
+// submitBatch posts one POST /v1/jobs:batch request and folds the
+// per-entry outcomes into the shared counters. The request latency is
+// recorded once per accepted job, so percentiles stay per-job.
+func submitBatch(client *http.Client, base string, entries []submitEntry,
+	mu *sync.Mutex, latencies *[]float64, ok, rej, errs, cancels *int) {
+	body, _ := json.Marshal(map[string][]submitEntry{"jobs": entries})
+	t0 := time.Now()
+	resp, err := client.Post(base+"/v1/jobs:batch", "application/json", bytes.NewReader(body))
+	lat := time.Since(t0).Seconds()
+	if err != nil {
+		mu.Lock()
+		*errs += len(entries)
+		mu.Unlock()
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		mu.Lock()
+		if resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable {
+			*rej += len(entries)
+		} else {
+			*errs += len(entries)
+		}
+		mu.Unlock()
+		return
+	}
+	var out struct {
+		Entries []batchEntryResult `json:"entries"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&out); derr != nil || len(out.Entries) != len(entries) {
+		mu.Lock()
+		*errs += len(entries)
+		mu.Unlock()
+		return
+	}
+	var toCancel []string
+	mu.Lock()
+	for i, e := range out.Entries {
+		switch {
+		case e.Code == http.StatusCreated:
+			*ok++
+			*latencies = append(*latencies, lat)
+			if entries[i].cancel {
+				toCancel = append(toCancel, entries[i].ID)
+			}
+		case e.Code == http.StatusTooManyRequests ||
+			e.Code == http.StatusServiceUnavailable:
+			*rej++
+		default:
+			*errs++
+		}
+	}
+	mu.Unlock()
+	for _, id := range toCancel {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/v1/jobs/"+id, nil)
+		if dr, derr := client.Do(req); derr == nil {
+			dr.Body.Close()
+			if dr.StatusCode == http.StatusOK {
+				mu.Lock()
+				*cancels++
+				mu.Unlock()
+			}
+		}
 	}
 }

@@ -13,10 +13,12 @@
 package coordinator
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 
 	"repro/internal/hw"
 	"repro/internal/perfmodel"
@@ -126,18 +128,158 @@ func clusterPredict(t1 float64, nodes int) float64 {
 	return t1 / n * (1 + CommOverheadPerLog2*math.Log2(n))
 }
 
+// Placement is the allocation-free result of a Place call: the same
+// decision a Schedule pass produces, but written into caller-owned
+// storage instead of a freshly built plan.Plan. NodeIDs and PerNode
+// alias the Scratch the caller passed in — they are valid until the
+// next Place with that scratch. PhaseCores aliases the scratch's memo
+// and must be treated as read-only.
+type Placement struct {
+	NodeIDs     []int
+	PerNode     []power.Budget
+	Cores       int
+	Affinity    workload.Affinity
+	NodeCfg     recommend.NodeConfig
+	PredTime    float64
+	Coordinated bool
+	PhaseCores  map[string]int
+}
+
+// phaseKey memoizes recommend.PhasePlan per (application, core count);
+// the profile behind an application is stable once trained, so the
+// phase override map is a pure function of this pair.
+type phaseKey struct {
+	app   *workload.Spec
+	cores int
+}
+
+// Scratch holds the reusable buffers a Place call fills. A Scratch is
+// owned by one caller (one scheduler state); the Coordinator itself
+// stays stateless so a shared Coordinator may serve concurrent
+// Schedule calls, each with its own scratch.
+type Scratch struct {
+	counts  []int
+	ids     []int
+	budgets []power.Budget
+	phase   map[phaseKey]map[string]int
+	best    map[bestKey]bestMemo
+}
+
+// bestKey identifies one memoized per-node recommendation: the search
+// is a pure function of (node spec, predictor, per-node budget, energy
+// tolerance) — the profile is paired 1:1 with the predictor, and Place
+// always searches at full efficiency.
+type bestKey struct {
+	spec    *hw.NodeSpec
+	pd      *perfmodel.Predictor
+	bits    uint64 // math.Float64bits of the per-node budget
+	tolBits uint64 // math.Float64bits of the energy tolerance
+}
+
+// bestMemo is one cached recommend.Best outcome.
+type bestMemo struct {
+	cfg recommend.NodeConfig
+	ok  bool
+}
+
+// bestConfig returns the memoized single-node recommendation for a
+// per-node budget, computing and caching it on first sight. Budgets
+// recur heavily across a scheduling run (power conservation returns
+// the free pool to previously seen values), so the candidate search
+// runs once per distinct (app, budget) pair.
+func (sc *Scratch) bestConfig(spec *hw.NodeSpec, prof *profile.Profile, pd *perfmodel.Predictor, perNode, tolerance float64) (recommend.NodeConfig, bool) {
+	k := bestKey{spec: spec, pd: pd, bits: math.Float64bits(perNode), tolBits: math.Float64bits(tolerance)}
+	if m, ok := sc.best[k]; ok {
+		return m.cfg, m.ok
+	}
+	if sc.best == nil {
+		sc.best = make(map[bestKey]bestMemo)
+	}
+	cfg, ok := recommend.Best(spec, prof, pd, perNode, 1.0, tolerance)
+	sc.best[k] = bestMemo{cfg: cfg, ok: ok}
+	return cfg, ok
+}
+
+// phasePlan returns the memoized phase-concurrency override map.
+func (sc *Scratch) phasePlan(app *workload.Spec, prof *profile.Profile, cores int) map[string]int {
+	k := phaseKey{app: app, cores: cores}
+	if m, ok := sc.phase[k]; ok {
+		return m
+	}
+	if sc.phase == nil {
+		sc.phase = make(map[phaseKey]map[string]int)
+	}
+	m := recommend.PhasePlan(app, prof, cores)
+	sc.phase[k] = m
+	return m
+}
+
+// Sentinel errors of the allocation-free Place path. Schedule maps them
+// back to its formatted human-facing messages.
+var (
+	ErrNonPositiveBound = errors.New("coordinator: non-positive bound")
+	ErrNoProcCount      = errors.New("coordinator: no admissible process count")
+	ErrInfeasible       = errors.New("coordinator: no feasible node count under bound")
+)
+
 // Schedule produces the CLIP decision for app under a total budget of
 // bound watts, given its profile and fitted performance predictor.
 func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *perfmodel.Predictor, bound float64) (*Decision, error) {
+	var sc Scratch
+	var pl Placement
+	if err := c.Place(app, prof, pd, bound, &sc, &pl); err != nil {
+		switch {
+		case errors.Is(err, ErrNonPositiveBound):
+			return nil, fmt.Errorf("coordinator: non-positive bound %.1f W", bound)
+		case errors.Is(err, ErrNoProcCount):
+			return nil, fmt.Errorf("coordinator: %s admits no process count on %d available of %d nodes",
+				app.Name, c.availableNodes(), c.Cluster.NumNodes())
+		case errors.Is(err, ErrInfeasible):
+			return nil, fmt.Errorf("coordinator: no feasible node count for %s under %.1f W", app.Name, bound)
+		}
+		return nil, err
+	}
+	// Materialize caller-owned storage: the scratch dies with this
+	// frame, while the Decision may be cached and annotated.
+	var phases map[string]int
+	if len(pl.PhaseCores) > 0 {
+		phases = make(map[string]int, len(pl.PhaseCores))
+		for k, v := range pl.PhaseCores {
+			phases[k] = v
+		}
+	}
+	p := &plan.Plan{
+		NodeIDs:    append([]int(nil), pl.NodeIDs...),
+		Cores:      pl.Cores,
+		Affinity:   pl.Affinity,
+		PerNode:    append([]power.Budget(nil), pl.PerNode...),
+		PhaseCores: phases,
+		Notes: fmt.Sprintf("class=%s np=%d nodes=%d cores=%d %s",
+			prof.Class, prof.PredictedNP, len(pl.NodeIDs), pl.Cores, pl.NodeCfg.Budget),
+	}
+	d := &Decision{
+		Plan: p, NodeCfg: pl.NodeCfg, PredTime: pl.PredTime, Coordinated: pl.Coordinated,
+		Class:   prof.Class.String(),
+		NP:      prof.PredictedNP,
+		Sockets: profile.SocketsUsed(c.Cluster.Spec(), pl.Cores, pl.Affinity),
+	}
+	return d, nil
+}
+
+// Place runs one cluster-level scheduling pass (Algorithm 1) into the
+// caller's scratch buffers without heap allocation: node-count search,
+// node picking, budget assignment, and telemetry publication — the
+// exact decision Schedule produces, minus the materialized Plan. It is
+// the hot-path entry for the job scheduler's dispatch loop.
+func (c *Coordinator) Place(app *workload.Spec, prof *profile.Profile, pd *perfmodel.Predictor, bound float64, sc *Scratch, out *Placement) error {
 	if bound <= 0 {
-		return nil, fmt.Errorf("coordinator: non-positive bound %.1f W", bound)
+		return ErrNonPositiveBound
 	}
 	spec := c.Cluster.Spec()
 	avail := c.availableNodes()
-	counts := app.AllowedProcCounts(avail)
-	if len(counts) == 0 {
-		return nil, fmt.Errorf("coordinator: %s admits no process count on %d available of %d nodes",
-			app.Name, avail, c.Cluster.NumNodes())
+	sc.counts = app.AppendProcCounts(sc.counts[:0], avail)
+	if len(sc.counts) == 0 {
+		return ErrNoProcCount
 	}
 
 	type cand struct {
@@ -146,11 +288,12 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		pred  float64
 	}
 	best := cand{pred: math.Inf(1)}
-	var fallback *cand
-	for _, n := range counts {
+	var fallback cand
+	haveFallback := false
+	for _, n := range sc.counts {
 		perNode := bound / float64(n)
-		cfg, err := recommend.RecommendWithTolerance(spec, prof, pd, perNode, 1.0, c.EnergyTolerance)
-		if err != nil {
+		cfg, ok := sc.bestConfig(spec, prof, pd, perNode, c.EnergyTolerance)
+		if !ok {
 			mInfeasible.Inc()
 			continue
 		}
@@ -160,9 +303,9 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		pred := clusterPredict(cfg.PredIterTime, n)
 		cc := cand{nodes: n, cfg: cfg, pred: pred}
 		if !cfg.CapOK {
-			if fallback == nil || pred < fallback.pred {
-				f := cc
-				fallback = &f
+			if !haveFallback || pred < fallback.pred {
+				fallback = cc
+				haveFallback = true
 			}
 			continue
 		}
@@ -171,32 +314,51 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 		}
 	}
 	if math.IsInf(best.pred, 1) {
-		if fallback == nil {
-			return nil, fmt.Errorf("coordinator: no feasible node count for %s under %.1f W", app.Name, bound)
+		if !haveFallback {
+			return ErrInfeasible
 		}
-		best = *fallback
+		best = fallback
 		mDutyFallback.Inc()
 	}
 
-	ids := c.pickNodes(best.nodes)
-	budgets, coordinated := c.nodeBudgets(ids, best.cfg, bound)
-	p := &plan.Plan{
-		NodeIDs:    ids,
-		Cores:      best.cfg.Cores,
-		Affinity:   best.cfg.Affinity,
-		PerNode:    budgets,
-		PhaseCores: recommend.PhasePlan(app, prof, best.cfg.Cores),
-		Notes: fmt.Sprintf("class=%s np=%d nodes=%d cores=%d %s",
-			prof.Class, prof.PredictedNP, best.nodes, best.cfg.Cores, best.cfg.Budget),
-	}
-	d := &Decision{
-		Plan: p, NodeCfg: best.cfg, PredTime: best.pred, Coordinated: coordinated,
-		Class:   prof.Class.String(),
-		NP:      prof.PredictedNP,
-		Sockets: profile.SocketsUsed(spec, best.cfg.Cores, best.cfg.Affinity),
-	}
+	ids := c.pickNodes(sc, best.nodes)
+	budgets, coordinated := c.nodeBudgets(sc, ids, best.cfg, bound)
+	out.NodeIDs = ids
+	out.PerNode = budgets
+	out.Cores = best.cfg.Cores
+	out.Affinity = best.cfg.Affinity
+	out.NodeCfg = best.cfg
+	out.PredTime = best.pred
+	out.Coordinated = coordinated
+	out.PhaseCores = sc.phasePlan(app, prof, best.cfg.Cores)
 	c.publish(app.Name, bound, ids, budgets, coordinated)
-	return d, nil
+	return nil
+}
+
+// Per-node budget gauge handles, indexed by node id. Registering a
+// gauge means building its label string and taking the registry lock,
+// which dominated the hot path's object churn; the handles are
+// append-only and shared by every coordinator.
+var (
+	nodeGaugeMu  sync.Mutex
+	nodeGaugeCPU []*telemetry.Gauge
+	nodeGaugeMem []*telemetry.Gauge
+)
+
+// nodeGauges returns the cached budget gauges for a node id.
+func nodeGauges(id int) (cpu, mem *telemetry.Gauge) {
+	nodeGaugeMu.Lock()
+	defer nodeGaugeMu.Unlock()
+	for len(nodeGaugeCPU) <= id {
+		n := strconv.Itoa(len(nodeGaugeCPU))
+		nodeGaugeCPU = append(nodeGaugeCPU, telemetry.Default.Gauge(
+			telemetry.Label("clip_node_budget_cpu_watts", "node", n),
+			"CPU-domain power budget most recently assigned to the node"))
+		nodeGaugeMem = append(nodeGaugeMem, telemetry.Default.Gauge(
+			telemetry.Label("clip_node_budget_mem_watts", "node", n),
+			"DRAM-domain power budget most recently assigned to the node"))
+	}
+	return nodeGaugeCPU[id], nodeGaugeMem[id]
 }
 
 // publish reports the scheduling pass to the telemetry layer: the
@@ -205,21 +367,22 @@ func (c *Coordinator) Schedule(app *workload.Spec, prof *profile.Profile, pd *pe
 func (c *Coordinator) publish(app string, bound float64, ids []int, budgets []power.Budget, coordinated bool) {
 	mSchedules.Inc()
 	for i, id := range ids {
-		n := strconv.Itoa(id)
-		telemetry.Default.Gauge(telemetry.Label("clip_node_budget_cpu_watts", "node", n),
-			"CPU-domain power budget most recently assigned to the node").Set(budgets[i].CPU)
-		telemetry.Default.Gauge(telemetry.Label("clip_node_budget_mem_watts", "node", n),
-			"DRAM-domain power budget most recently assigned to the node").Set(budgets[i].Mem)
+		cpu, mem := nodeGauges(id)
+		cpu.Set(budgets[i].CPU)
+		mem.Set(budgets[i].Mem)
 	}
 	if !coordinated {
 		return
 	}
 	mRebalances.Inc()
 	ev := telemetry.Event{Kind: telemetry.KindRebalance, App: app, BoundWatts: bound, Coordinated: true}
+	// Ring readers keep the event, so PerNode must be freshly owned —
+	// but exactly sized: one allocation, no append growth.
+	ev.PerNode = make([]telemetry.NodeBudget, len(ids))
 	for i, id := range ids {
-		ev.PerNode = append(ev.PerNode, telemetry.NodeBudget{
+		ev.PerNode[i] = telemetry.NodeBudget{
 			Node: id, CPUWatts: budgets[i].CPU, MemWatts: budgets[i].Mem,
-		})
+		}
 	}
 	telemetry.Default.Events().Append(ev)
 }
@@ -238,20 +401,30 @@ func (c *Coordinator) availableNodes() int {
 // pickNodes selects the n most power-efficient available nodes (lowest
 // PowerEff): under a shared bound the efficient parts sustain the
 // highest frequencies. Unavailable (quarantined/drained) nodes never
-// appear in the result.
-func (c *Coordinator) pickNodes(n int) []int {
-	ids := make([]int, 0, c.Cluster.NumNodes())
+// appear in the result. The result lives in sc.ids. The ranking uses a
+// stable insertion sort — node counts are small and the reflection-free
+// sort keeps the pass allocation-free.
+func (c *Coordinator) pickNodes(sc *Scratch, n int) []int {
+	ids := sc.ids[:0]
 	for i := 0; i < c.Cluster.NumNodes(); i++ {
 		if c.Unavailable[i] {
 			continue
 		}
 		ids = append(ids, i)
 	}
-	sort.SliceStable(ids, func(a, b int) bool {
-		return c.Cluster.Nodes[ids[a]].PowerEff < c.Cluster.Nodes[ids[b]].PowerEff
-	})
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		e := c.Cluster.Nodes[v].PowerEff
+		j := i - 1
+		for j >= 0 && c.Cluster.Nodes[ids[j]].PowerEff > e {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
 	ids = ids[:n]
 	sort.Ints(ids)
+	sc.ids = ids
 	return ids
 }
 
@@ -260,12 +433,16 @@ func (c *Coordinator) pickNodes(n int) []int {
 // CPU budgets are re-balanced so every node sustains the same frequency
 // (equalising barrier arrival, §III-B2), spending no more than the
 // uniform total.
-func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound float64) ([]power.Budget, bool) {
+func (c *Coordinator) nodeBudgets(sc *Scratch, ids []int, cfg recommend.NodeConfig, bound float64) ([]power.Budget, bool) {
 	n := len(ids)
-	uniform := plan.UniformBudgets(n, cfg.Budget)
+	out := sc.budgets[:0]
 	spread := c.variabilityAcross(ids)
 	if c.Threshold < 0 || spread <= c.threshold() {
-		return c.applyDerate(ids, uniform), false
+		for i := 0; i < n; i++ {
+			out = append(out, cfg.Budget)
+		}
+		sc.budgets = out
+		return c.applyDerate(ids, out), false
 	}
 
 	spec := c.Cluster.Spec()
@@ -286,7 +463,10 @@ func (c *Coordinator) nodeBudgets(ids []int, cfg recommend.NodeConfig, bound flo
 			break
 		}
 	}
-	out := make([]power.Budget, n)
+	for i := 0; i < n; i++ {
+		out = append(out, power.Budget{})
+	}
+	sc.budgets = out
 	var spent float64
 	for i, id := range ids {
 		cpu := ladder[fIdx] * c.Cluster.Nodes[id].PowerEff

@@ -206,7 +206,7 @@ func TestPickNodesPrefersEfficient(t *testing.T) {
 	cl.Nodes[0].PowerEff = 1.10
 	cl.Nodes[2].PowerEff = 0.95
 	co := &Coordinator{Cluster: cl}
-	ids := co.pickNodes(2)
+	ids := co.pickNodes(&Scratch{}, 2)
 	for _, id := range ids {
 		if id == 0 {
 			t.Errorf("picked the leakiest node: %v", ids)

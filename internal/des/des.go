@@ -40,6 +40,15 @@ var (
 		"highest event-queue depth observed by any engine")
 )
 
+// Handler receives indexed event dispatch. Scheduling a (handler,
+// kind, arg) triple instead of a closure keeps the hot path
+// allocation-free: converting a pointer that already implements the
+// interface does not allocate, while every closure capturing loop
+// state does.
+type Handler interface {
+	HandleEvent(kind uint16, arg uint64)
+}
+
 // Event is a scheduled callback in virtual time.
 type Event struct {
 	Time float64
@@ -47,10 +56,14 @@ type Event struct {
 	// tags completions, fault injections and recoveries with its own
 	// kind constants). The engine never interprets it; it is cleared
 	// when the event fires or is reclaimed, so recycled events start
-	// unlabelled.
+	// unlabelled. Handler events receive it as the dispatch kind.
 	Kind uint16
 	seq  uint64
 	fn   func()
+	// h/arg carry a handler-dispatched event (AtHandler); fn carries a
+	// closure-dispatched one (At). Exactly one is set while pending.
+	h   Handler
+	arg uint64
 	// cancelled events stay in the heap but do nothing when popped.
 	cancelled bool
 	// eng is the owning engine while the event is pending; nil once it
@@ -107,6 +120,8 @@ func (e *Engine) alloc() *Event {
 // reclaim returns a finished event to the free list.
 func (e *Engine) reclaim(ev *Event) {
 	ev.fn = nil
+	ev.h = nil
+	ev.arg = 0
 	ev.eng = nil
 	ev.cancelled = false
 	ev.Kind = 0
@@ -136,6 +151,53 @@ func (e *Engine) At(t float64, fn func()) (*Event, error) {
 // After schedules fn dt seconds from now.
 func (e *Engine) After(dt float64, fn func()) (*Event, error) {
 	return e.At(e.now+dt, fn)
+}
+
+// AtHandler schedules h.HandleEvent(kind, arg) at absolute time t. It
+// is the allocation-free sibling of At: the event is labelled with
+// kind up front and carries arg to the handler, so callers index into
+// their own arenas instead of capturing state in a closure.
+func (e *Engine) AtHandler(t float64, h Handler, kind uint16, arg uint64) (*Event, error) {
+	if t < e.now-1e-12 {
+		return nil, fmt.Errorf("des: schedule at %g before now %g", t, e.now)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return nil, fmt.Errorf("des: invalid event time %g", t)
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.Time = t
+	ev.seq = e.seq
+	ev.Kind = kind
+	ev.h = h
+	ev.arg = arg
+	ev.eng = e
+	e.push(ev)
+	return ev, nil
+}
+
+// AfterHandler schedules h.HandleEvent(kind, arg) dt seconds from now.
+func (e *Engine) AfterHandler(dt float64, h Handler, kind uint16, arg uint64) (*Event, error) {
+	return e.AtHandler(e.now+dt, h, kind, arg)
+}
+
+// Reset rewinds the engine to time zero for reuse by a fresh run:
+// pending events are reclaimed into the free list and the clock,
+// sequence counter and step count restart so a replay schedules the
+// exact event sequence a brand-new engine would. Cumulative telemetry
+// (events processed, compactions) has already been flushed per Run.
+func (e *Engine) Reset() {
+	for _, ev := range e.queue {
+		e.reclaim(ev)
+	}
+	clear(e.queue)
+	e.queue = e.queue[:0]
+	e.cancelled = 0
+	e.now = 0
+	e.seq = 0
+	e.Steps = 0
+	e.maxDepth = 0
+	e.compactions = 0
 }
 
 // less orders events by (time, insertion sequence).
@@ -325,9 +387,13 @@ func (e *Engine) step(maxSteps int) error {
 	if e.Steps > maxSteps {
 		return fmt.Errorf("des: exceeded %d events (runaway simulation?)", maxSteps)
 	}
-	fn := ev.fn
+	fn, h, kind, arg := ev.fn, ev.h, ev.Kind, ev.arg
 	ev.eng = nil // pending no more: Cancel becomes a no-op
-	fn()
+	if h != nil {
+		h.HandleEvent(kind, arg)
+	} else {
+		fn()
+	}
 	e.reclaim(ev)
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // NodeSpec describes the hardware of a single compute node.
@@ -51,13 +52,18 @@ type NodeSpec struct {
 	// (NIC, disks, fans) in watts; it is constant and not manageable.
 	OtherPower float64
 
-	// ladderMu guards ladders, the lazily built nominal power-ladder
-	// tables keyed by (activeCores, socketsUsed). The cache makes the
-	// cap solvers in internal/power a binary search instead of a walk
-	// down the DVFS ladder recomputing the power polynomial. Specs are
-	// shared by pointer, so the cache is concurrency safe.
-	ladderMu sync.RWMutex
-	ladders  map[ladderKey][]float64
+	// The lazily built nominal power-ladder tables keyed by
+	// (activeCores, socketsUsed) make the cap solvers in internal/power
+	// a binary search instead of a walk down the DVFS ladder recomputing
+	// the power polynomial. In-range configurations live in a flat
+	// atomic-pointer table (one load per hit — the solvers call this on
+	// every candidate of every search); out-of-range requests fall back
+	// to a mutex-guarded map. Specs are shared by pointer, so both
+	// caches are concurrency safe.
+	ladderOnce sync.Once
+	ladderTab  []atomic.Pointer[[]float64]
+	ladderMu   sync.RWMutex
+	ladders    map[ladderKey][]float64
 }
 
 // ladderKey identifies one cached power ladder.
@@ -93,6 +99,23 @@ func (s *NodeSpec) NominalCPUPower(activeCores, socketsUsed int, f float64) floa
 // socketsUsed sockets, ascending with FreqLevels. The slice is cached
 // on the spec and shared: callers must not modify it.
 func (s *NodeSpec) LadderPowers(activeCores, socketsUsed int) []float64 {
+	if activeCores >= 1 && activeCores <= s.Cores() && socketsUsed >= 1 && socketsUsed <= s.Sockets {
+		s.ladderOnce.Do(func() {
+			s.ladderTab = make([]atomic.Pointer[[]float64], (s.Cores()+1)*(s.Sockets+1))
+		})
+		slot := &s.ladderTab[activeCores*(s.Sockets+1)+socketsUsed]
+		if p := slot.Load(); p != nil {
+			return *p
+		}
+		t := make([]float64, len(s.FreqLevels))
+		for i, f := range s.FreqLevels {
+			t[i] = s.NominalCPUPower(activeCores, socketsUsed, f)
+		}
+		// Racing writers store identical tables; last one wins and the
+		// earlier slice stays valid for its caller.
+		slot.Store(&t)
+		return t
+	}
 	key := ladderKey{activeCores, socketsUsed}
 	s.ladderMu.RLock()
 	t, ok := s.ladders[key]

@@ -347,28 +347,29 @@ func (st *schedState) killJob(rj *runningJob, node int, cause string) {
 		rj.completion.Cancel()
 		rj.completion = nil
 	}
-	delete(st.running, rj.job.ID)
+	j := rj.job
+	delete(st.running, j.ID)
 	st.shadowOK = false
 	reclaimed := rj.powerUsed
 	st.freeW += reclaimed
 	st.stats.Faults.WattsReclaimed += reclaimed
 	gWattsReclaimed.Add(reclaimed)
 	st.releaseNodes(rj.globalIDs)
-	st.logFault("kill", node, rj.job.ID, reclaimed, cause)
+	st.releaseRecord(rj) // rj must not be touched below this line
+	st.logFault("kill", node, j.ID, reclaimed, cause)
 
-	attempt := st.retries[rj.job.ID] + 1
-	st.retries[rj.job.ID] = attempt
+	attempt := st.retries[j.ID] + 1
+	st.retries[j.ID] = attempt
 	if attempt > st.inj.MaxRetries() {
 		// The final kill was not re-tried; report only completed retries.
-		st.retries[rj.job.ID] = attempt - 1
-		st.failJob(rj.job, fmt.Sprintf("%s; %d retries exhausted", cause, attempt-1))
+		st.retries[j.ID] = attempt - 1
+		st.failJob(j, fmt.Sprintf("%s; %d retries exhausted", cause, attempt-1))
 		return
 	}
 	mJobsRetried.Inc()
 	st.stats.Faults.Retries++
-	backoff := st.inj.Backoff(rj.job.ID, attempt)
-	st.killedAt[rj.job.ID] = st.eng.Now()
-	j := rj.job
+	backoff := st.inj.Backoff(j.ID, attempt)
+	st.killedAt[j.ID] = st.eng.Now()
 	ev, err := st.eng.After(backoff, func() { st.requeue(j) })
 	if err != nil {
 		st.failure = err

@@ -1,0 +1,160 @@
+package jobsched
+
+// Hot-path regression guards. The scheduler's steady-state event path
+// is allocation-free by design (pooled state, record arena, dispatch
+// cache, scratch reuse); these tests turn that property into a gate so
+// an accidental per-event allocation fails `go test` instead of slowly
+// eroding BENCH_results.json. They also pin the two behavioural
+// contracts the optimisation must not bend: Run never mutates the
+// caller's job slice, and SubmitBatch is observably identical to the
+// same submissions made one at a time.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestRunDoesNotMutateCallerJobs: Run sorts arrivals in its own scratch
+// buffer; the slice the caller handed in (order and contents) must come
+// back untouched, run after run.
+func TestRunDoesNotMutateCallerJobs(t *testing.T) {
+	s := sched(t, Config{Bound: 2000, Policy: Backfill})
+	list := []Job{
+		{ID: "late", App: workload.CoMD(), Arrival: 30},
+		{ID: "early", App: workload.LUMZ(), Arrival: 0},
+		{ID: "mid", App: workload.SPMZ(), Arrival: 10},
+		{ID: "tied", App: workload.AMG(), Arrival: 10},
+	}
+	orig := append([]Job(nil), list...)
+	for run := 0; run < 2; run++ {
+		if _, err := s.Run(list); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(list, orig) {
+			t.Fatalf("run %d mutated the caller's slice:\n got %+v\nwant %+v", run, list, orig)
+		}
+	}
+}
+
+// TestRunSteadyStateAllocs: once the pooled state, dispatch cache and
+// scratch buffers are warm, a full schedule of N jobs may allocate only
+// per-job result material (terminal snapshots, stats growth) — a small
+// constant per job, not the seed's ~295 allocations per job.
+func TestRunSteadyStateAllocs(t *testing.T) {
+	s := sched(t, Config{Bound: 2000, Policy: Backfill, Reallocate: true})
+	apps := []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.SPMZ(), workload.AMG()}
+	list := make([]Job, 64)
+	for i := range list {
+		list[i] = Job{ID: fmt.Sprintf("j%03d", i), App: apps[i%len(apps)], Arrival: float64(i)}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := s.Run(list); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := s.Run(list); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if max := 3 * float64(len(list)); avg > max {
+		t.Errorf("steady-state Run of %d jobs allocates %.0f objects, want <= %.0f",
+			len(list), avg, max)
+	}
+}
+
+// TestOnlineSubmitAllocs: a steady-state submission into a saturated
+// cluster (the common shape under load) allocates only the job's own
+// identity — id string, record, index entry — with the queue, event and
+// dispatch machinery fully amortised.
+func TestOnlineSubmitAllocs(t *testing.T) {
+	o := online(t, Config{Bound: 320})
+	app := workload.CoMD()
+	for i := 0; i < 32; i++ {
+		if _, err := o.Submit(fmt.Sprintf("warm-%d", i), app); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	avg := testing.AllocsPerRun(200, func() {
+		n++
+		if _, err := o.Submit(fmt.Sprintf("load-%d", n), app); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 12 {
+		t.Errorf("Online.Submit allocates %.1f objects per call, want <= 12", avg)
+	}
+}
+
+// statusKey flattens a JobStatus for comparison.
+func statusKey(js JobStatus) string {
+	return fmt.Sprintf("%s|%v|%.9f|%.9f|%.9f|%d|%v|%d|%.9f|%.9f|%d|%.9f|%s",
+		js.ID, js.State, js.Arrival, js.Start, js.Finish, js.QueuePos,
+		js.Nodes, js.Cores, js.PerNodeW, js.EstFinish, js.Retries,
+		js.ReclaimedW, js.Reason)
+}
+
+// TestSubmitBatchMatchesSerialSubmits: one SubmitBatch of N entries
+// must leave the driver in exactly the state N serial Submit calls
+// produce — same per-entry statuses and errors (including mid-batch
+// duplicate rejections), same Jobs() listing, same Cluster() snapshot,
+// same started-jobs telemetry delta.
+func TestSubmitBatchMatchesSerialSubmits(t *testing.T) {
+	// Mixed outcome batch on a one-job bound: first runs, rest queue,
+	// two entries are rejected mid-batch (duplicate id, empty id).
+	subs := []Submission{
+		{ID: "a", App: workload.CoMD()},
+		{ID: "b", App: workload.LUMZ()},
+		{ID: "a", App: workload.SPMZ()}, // duplicate → rejected
+		{ID: "", App: workload.AMG()},   // invalid → rejected
+		{ID: "c", App: workload.AMG()},
+	}
+	serial := online(t, Config{Bound: 320})
+	startBefore := mJobsStarted.Value()
+	var serialRes []SubmitResult
+	for _, sub := range subs {
+		var r SubmitResult
+		r.Status, r.Err = serial.Submit(sub.ID, sub.App)
+		serialRes = append(serialRes, r)
+	}
+	serialStarted := mJobsStarted.Value() - startBefore
+
+	batched := online(t, Config{Bound: 320})
+	startBefore = mJobsStarted.Value()
+	batchRes := batched.SubmitBatch(subs)
+	batchStarted := mJobsStarted.Value() - startBefore
+
+	if len(batchRes) != len(serialRes) {
+		t.Fatalf("batch returned %d results, want %d", len(batchRes), len(serialRes))
+	}
+	for i := range subs {
+		s, b := serialRes[i], batchRes[i]
+		if (s.Err == nil) != (b.Err == nil) ||
+			(s.Err != nil && s.Err.Error() != b.Err.Error()) {
+			t.Errorf("entry %d error: serial %v, batch %v", i, s.Err, b.Err)
+		}
+		if s.Err == nil && statusKey(s.Status) != statusKey(b.Status) {
+			t.Errorf("entry %d status:\n serial %+v\n batch  %+v", i, s.Status, b.Status)
+		}
+	}
+	if batchStarted != serialStarted {
+		t.Errorf("jobs-started telemetry: batch +%d, serial +%d", batchStarted, serialStarted)
+	}
+
+	sj, bj := serial.Jobs(), batched.Jobs()
+	if len(sj) != len(bj) {
+		t.Fatalf("Jobs(): serial %d entries, batch %d", len(sj), len(bj))
+	}
+	for i := range sj {
+		if statusKey(sj[i]) != statusKey(bj[i]) {
+			t.Errorf("Jobs()[%d]:\n serial %+v\n batch  %+v", i, sj[i], bj[i])
+		}
+	}
+	if sc, bc := serial.Cluster(), batched.Cluster(); !reflect.DeepEqual(sc, bc) {
+		t.Errorf("Cluster():\n serial %+v\n batch  %+v", sc, bc)
+	}
+}

@@ -11,12 +11,21 @@
 // running jobs (which then finish earlier). The timeline is event
 // driven (internal/des engine), with job runtimes supplied by the
 // analytic simulator.
+//
+// Hot-path discipline: the run state is pooled and recycled across
+// Runs, running-job records live in a slot arena with a freelist, DES
+// events dispatch through a handler interface (no closure per event),
+// and placement decisions are memoized per application against a
+// (free-set version, free-watts) stamp — a steady-state schedule event
+// performs zero heap allocations.
 package jobsched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/coordinator"
@@ -47,6 +56,17 @@ var (
 		"unallocated power after the most recent scheduler event")
 	mEventSeconds = telemetry.Default.Histogram("clip_jobsched_event_seconds",
 		"wall-clock latency of scheduler event handlers (arrivals, completions, bound changes)", nil)
+)
+
+// des handler event kinds of the core scheduler (the fault layer owns
+// 1..7; see faults.go). The argument encodes an index: into the
+// arrivals arena (evkArrival), the running-record slot arena
+// (evkCompletion) or the bound schedule (evkBound).
+const (
+	evkArrival uint16 = 32 + iota
+	evkCompletion
+	evkBound
+	evkSubmit
 )
 
 // Job is one unit of work submitted to the scheduler.
@@ -179,6 +199,11 @@ type Scheduler struct {
 	Cluster *hw.Cluster
 	CLIP    *core.CLIP
 	Config  Config
+
+	// pool recycles one fully warmed run state — arenas, scratch
+	// buffers, DES engine, placement cache — across Run calls, so a
+	// steady-state Run allocates only its result Stats.
+	pool atomic.Pointer[schedState]
 }
 
 // New builds a scheduler sharing CLIP's knowledge database and trained
@@ -197,10 +222,16 @@ func New(cl *hw.Cluster, clip *core.CLIP, cfg Config) (*Scheduler, error) {
 	return &Scheduler{Cluster: cl, CLIP: clip, Config: cfg}, nil
 }
 
-// runningJob tracks an executing job.
+// runningJob tracks an executing job. Records live in the run state's
+// slot arena: a record keeps its slot index for the lifetime of the
+// state and is recycled through a freelist, so completion events can
+// reference the job by slot and the globalIDs / subcluster buffers are
+// reused across occupants.
 type runningJob struct {
-	job       Job
-	result    *JobResult
+	job    Job
+	result JobResult // in-flight result; NodeIDs may alias globalIDs
+	slot   int32     // index in schedState.slots, stable across recycles
+	// globalIDs is the record-owned node id buffer (ascending).
 	globalIDs []int
 	cores     int
 	affinity  workload.Affinity
@@ -215,8 +246,9 @@ type runningJob struct {
 	completion   *des.Event
 	finishAt     float64 // scheduled completion time
 	powerUsed    float64 // total managed watts held by this job
-	// sub is the job's fixed subcluster view, built once at start and
-	// reused by every mid-run retune preview.
+	// sub is the job's fixed subcluster view, filled in place at start
+	// (the node objects are record-owned and reused) and consulted by
+	// every mid-run retune preview.
 	sub *hw.Cluster
 }
 
@@ -226,6 +258,58 @@ type runningJob struct {
 type queueEntry struct {
 	job     Job
 	started bool
+}
+
+// placementCopy is a dispatch-cache-owned snapshot of a coordinator
+// placement: the slices are owned by the entry (refilled in place on
+// recompute), the phase plan aliases the coordinator scratch's memo
+// (immutable once built).
+type placementCopy struct {
+	nodeIDs     []int // subcluster slots, ascending
+	perNode     []power.Budget
+	cores       int
+	affinity    workload.Affinity
+	capOK       bool
+	phaseCores  map[string]int
+	totalBudget float64
+}
+
+func (pc *placementCopy) copyFrom(pl *coordinator.Placement) {
+	pc.nodeIDs = append(pc.nodeIDs[:0], pl.NodeIDs...)
+	pc.perNode = append(pc.perNode[:0], pl.PerNode...)
+	pc.cores = pl.Cores
+	pc.affinity = pl.Affinity
+	pc.capOK = pl.NodeCfg.CapOK
+	pc.phaseCores = pl.PhaseCores
+	var tot float64
+	for _, b := range pc.perNode {
+		tot += b.Total()
+	}
+	pc.totalBudget = tot
+}
+
+// Dispatch-cache entry lifecycle for the current (freeVer, freeW)
+// stamp: infeasible (placement failed), placed (placement known, time
+// not yet simulated) or evaluated (placement and runtime known).
+const (
+	entryInfeasible uint8 = iota
+	entryPlaced
+	entryEvaled
+)
+
+// dispatchEntry memoizes one application's placement decision against
+// the free-set version and free-watts stamp it was computed for. The
+// placement is a pure function of (application, free nodes, free
+// watts), so a dispatch scan over a deep queue of repeated
+// applications — or repeated scans between resource changes — computes
+// each decision once and serves the rest from the cache, byte-identical
+// by construction.
+type dispatchEntry struct {
+	freeVer uint64
+	wBits   uint64 // math.Float64bits of the free watts
+	state   uint8
+	pl      placementCopy
+	eval    sim.Eval
 }
 
 // schedState is the mutable state of one Run.
@@ -247,8 +331,28 @@ type schedState struct {
 	freeW   float64
 	bound   float64 // current (possibly time-varying) bound
 	stats   *Stats
+	// running-record arena: slots[i].slot == i; freeSlots is the stack
+	// of recyclable indices.
+	slots     []*runningJob
+	freeSlots []int32
+	// placement machinery, persistent across events and runs.
+	coord  coordinator.Coordinator
+	csc    coordinator.Scratch
+	pl     coordinator.Placement
+	dcache map[*workload.Spec]*dispatchEntry
+	// arrivals is the scheduler-owned arrival arena: Run copies and
+	// sorts the caller's job list here (the caller's slice is never
+	// reordered), and arrival events reference it by index.
+	arrivals []Job
+	arrSort  arrivalSorter
+	// pendingArrival carries one online submission into its arrival
+	// event (fired synchronously inside Submit).
+	pendingArrival Job
+	// reallocIDs is the deterministic-iteration scratch of reallocate
+	// and shedPower.
+	reallocIDs []string
 	// cached derived state
-	freeVer    uint64 // bumped on every free-set change
+	freeVer    uint64 // bumped on every free-set change, never reset
 	freeSub    *hw.Cluster
 	freeSubVer uint64
 	shadow     float64
@@ -280,23 +384,52 @@ type schedState struct {
 	jobsLeft      int // submitted jobs not yet finished or failed
 }
 
+// arrivalSorter stable-sorts the arrival arena by arrival time without
+// boxing a fresh closure per Run.
+type arrivalSorter struct{ jobs []Job }
+
+func (a *arrivalSorter) Len() int           { return len(a.jobs) }
+func (a *arrivalSorter) Less(i, j int) bool { return a.jobs[i].Arrival < a.jobs[j].Arrival }
+func (a *arrivalSorter) Swap(i, j int)      { a.jobs[i], a.jobs[j] = a.jobs[j], a.jobs[i] }
+
+// jobsByStart orders final results by start time.
+type jobsByStart []JobResult
+
+func (x jobsByStart) Len() int           { return len(x) }
+func (x jobsByStart) Less(i, j int) bool { return x[i].Start < x[j].Start }
+func (x jobsByStart) Swap(i, j int)      { x[i], x[j] = x[j], x[i] }
+
+// HandleEvent implements des.Handler: the scheduler's own events
+// dispatch through the state object instead of a per-event closure.
+func (st *schedState) HandleEvent(kind uint16, arg uint64) {
+	switch kind {
+	case evkArrival:
+		st.arrive(st.arrivals[arg])
+	case evkCompletion:
+		st.finish(st.slots[arg])
+	case evkBound:
+		st.applyBoundChange(st.s.Config.BoundSchedule[arg].Watts)
+	case evkSubmit:
+		st.arrive(st.pendingArrival)
+	}
+}
+
 // newState builds the mutable run state shared by the batch Run and
 // the incremental Online driver: free-node and free-watts accumulators,
-// the armed fault injector, and the bound-schedule events.
+// the armed fault injector, and the bound-schedule events. States are
+// pooled on the Scheduler: a recycled state keeps its arenas, engine
+// freelist and placement cache warm.
 func (s *Scheduler) newState(online bool) (*schedState, error) {
-	st := &schedState{
-		s:       s,
-		eng:     des.NewEngine(),
-		running: make(map[string]*runningJob),
-		free:    make([]int, len(s.Cluster.Nodes)),
-		freeW:   s.Config.Bound,
-		bound:   s.Config.Bound,
-		stats:   &Stats{},
-		online:  online,
+	st := s.pool.Swap(nil)
+	if st == nil {
+		st = &schedState{
+			s:       s,
+			eng:     des.NewEngine(),
+			running: make(map[string]*runningJob),
+			dcache:  make(map[*workload.Spec]*dispatchEntry),
+		}
 	}
-	for i := range st.free {
-		st.free[i] = i
-	}
+	st.reset(online)
 	if s.Config.Faults != nil && s.Config.Faults.Enabled() {
 		sc := s.Config.Faults.Normalized()
 		if err := sc.Validate(); err != nil {
@@ -307,19 +440,85 @@ func (s *Scheduler) newState(online bool) (*schedState, error) {
 			return nil, st.failure
 		}
 	}
-	for _, bc := range s.Config.BoundSchedule {
-		bc := bc
+	for i, bc := range s.Config.BoundSchedule {
 		if bc.Time < 0 || bc.Watts <= 0 {
 			return nil, fmt.Errorf("jobsched: invalid bound change at t=%g to %g W", bc.Time, bc.Watts)
 		}
-		if _, err := st.eng.At(bc.Time, func() { st.applyBoundChange(bc.Watts) }); err != nil {
+		if _, err := st.eng.AtHandler(bc.Time, st, evkBound, uint64(i)); err != nil {
 			return nil, err
 		}
 	}
 	return st, nil
 }
 
+// reset rewinds a (possibly recycled) state to time zero. The free-set
+// version deliberately keeps counting instead of restarting: placement
+// cache entries and the subcluster stamp from an earlier occupancy must
+// never collide with a fresh run's free set.
+func (st *schedState) reset(online bool) {
+	s := st.s
+	st.eng.Reset()
+	st.queue = st.queue[:0]
+	st.qhead, st.qlive = 0, 0
+	clear(st.running)
+	st.freeSlots = st.freeSlots[:0]
+	for i := range st.slots {
+		st.freeSlots = append(st.freeSlots, int32(i))
+	}
+	st.free = st.free[:0]
+	for i := range s.Cluster.Nodes {
+		st.free = append(st.free, i)
+	}
+	st.freeW = s.Config.Bound
+	st.bound = s.Config.Bound
+	st.stats = &Stats{}
+	st.coord = coordinator.Coordinator{}
+	st.freeVer++
+	st.shadow, st.shadowOK = 0, false
+	st.lastAccount, st.usedIntegral = 0, 0
+	st.failure = nil
+	st.online = online
+	st.hooks = lifecycleHooks{}
+	st.pendingRequeue = nil
+	st.pendingArrival = Job{}
+	st.inj = nil
+	st.runningOn = nil
+	st.straggle = nil
+	st.derated = nil
+	st.reserved = nil
+	st.retries = nil
+	st.killedAt = nil
+	st.faultEvs = nil
+	st.faultsStopped = false
+	st.jobsLeft = 0
+}
+
+// acquireRecord takes a running-job record from the slot arena.
+func (st *schedState) acquireRecord() *runningJob {
+	if n := len(st.freeSlots); n > 0 {
+		slot := st.freeSlots[n-1]
+		st.freeSlots = st.freeSlots[:n-1]
+		rj := st.slots[slot]
+		ids := rj.globalIDs[:0]
+		sub := rj.sub
+		*rj = runningJob{slot: slot, globalIDs: ids, sub: sub}
+		return rj
+	}
+	rj := &runningJob{slot: int32(len(st.slots))}
+	st.slots = append(st.slots, rj)
+	return rj
+}
+
+// releaseRecord recycles a record whose completion event has fired or
+// been cancelled. The caller must not touch rj afterwards: the next
+// start may reuse the slot (and its buffers) immediately.
+func (st *schedState) releaseRecord(rj *runningJob) {
+	rj.completion = nil
+	st.freeSlots = append(st.freeSlots, rj.slot)
+}
+
 // Run schedules the job list to completion and returns statistics.
+// The caller's slice is read but never reordered or mutated.
 func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("jobsched: empty job list")
@@ -336,12 +535,13 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.pool.Store(st)
 	st.jobsLeft = len(jobs)
-	sorted := append([]Job(nil), jobs...)
-	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].Arrival < sorted[b].Arrival })
-	for _, j := range sorted {
-		j := j
-		if _, err := st.eng.At(j.Arrival, func() { st.arrive(j) }); err != nil {
+	st.arrivals = append(st.arrivals[:0], jobs...)
+	st.arrSort.jobs = st.arrivals
+	sort.Stable(&st.arrSort)
+	for i := range st.arrivals {
+		if _, err := st.eng.AtHandler(st.arrivals[i].Arrival, st, evkArrival, uint64(i)); err != nil {
 			return nil, err
 		}
 	}
@@ -371,7 +571,7 @@ func (s *Scheduler) Run(jobs []Job) (*Stats, error) {
 	if res.Makespan > 0 {
 		res.AvgPowerUse = st.usedIntegral / (res.Makespan * s.Config.Bound)
 	}
-	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].Start < res.Jobs[b].Start })
+	sort.Sort(jobsByStart(res.Jobs))
 	return res, nil
 }
 
@@ -512,10 +712,11 @@ func (st *schedState) returnFree(ids []int) {
 }
 
 // freeCluster returns the subcluster view over the free nodes, cached
-// until the free set changes (one version stamp per start/finish).
+// until the free set changes (one version stamp per start/finish) and
+// filled in place into a state-owned buffer.
 func (st *schedState) freeCluster() *hw.Cluster {
 	if st.freeSub == nil || st.freeSubVer != st.freeVer {
-		st.freeSub = subCluster(st.s.Cluster, st.free)
+		st.freeSub = fillSub(st.freeSub, st.s.Cluster, st.free)
 		st.freeSubVer = st.freeVer
 	}
 	return st.freeSub
@@ -524,76 +725,99 @@ func (st *schedState) freeCluster() *hw.Cluster {
 // tryStart attempts to place one job on the free nodes with the free
 // power; returns true when the job started. The job is only started
 // when it would complete by deadline (backfill safety window).
+//
+// The placement decision is served from the per-application dispatch
+// cache when the free set and free watts are unchanged since it was
+// computed; the simulator evaluation is memoized alongside it. The
+// CapOK and deadline gates depend on per-call state (running-set size,
+// shadow window) and are applied after the lookup.
 func (st *schedState) tryStart(j Job, deadline float64) bool {
 	if len(st.free) == 0 || st.freeW <= 0 {
 		return false
 	}
-	prof, pd, err := st.s.CLIP.Predictor(j.App)
-	if err != nil {
-		st.failure = err
-		return false
+	e := st.dcache[j.App]
+	if e == nil {
+		e = &dispatchEntry{}
+		st.dcache[j.App] = e
 	}
-	sub := st.freeCluster()
-	co := &coordinator.Coordinator{Cluster: sub}
-	d, err := co.Schedule(j.App, prof, pd, st.freeW)
-	if err != nil {
-		return false // does not fit now; retry on the next completion
-	}
-	if !d.NodeCfg.CapOK {
-		// Below the acceptable power range: wait for more power unless
-		// nothing is running (then duty-cycling beats starvation).
-		if len(st.running) > 0 {
+	wBits := math.Float64bits(st.freeW)
+	if e.freeVer != st.freeVer || e.wBits != wBits {
+		e.freeVer, e.wBits = st.freeVer, wBits
+		e.state = entryInfeasible
+		prof, pd, err := st.s.CLIP.Predictor(j.App)
+		if err != nil {
+			st.failure = err
 			return false
 		}
+		st.coord.Cluster = st.freeCluster()
+		if err := st.coord.Place(j.App, prof, pd, st.freeW, &st.csc, &st.pl); err != nil {
+			return false // does not fit now; retry on the next completion
+		}
+		e.pl.copyFrom(&st.pl)
+		e.state = entryPlaced
 	}
-	res, err := sim.EvalTime(sub, j.App, d.Plan.SimConfig())
-	if err != nil {
-		st.failure = err
+	if e.state == entryInfeasible {
 		return false
 	}
-	if st.eng.Now()+res.Time > deadline {
+	if !e.pl.capOK && len(st.running) > 0 {
+		// Below the acceptable power range: wait for more power unless
+		// nothing is running (then duty-cycling beats starvation).
+		return false
+	}
+	if e.state == entryPlaced {
+		res, err := sim.EvalTime(st.freeCluster(), j.App, sim.Config{
+			Nodes: len(e.pl.nodeIDs), NodeIDs: e.pl.nodeIDs,
+			CoresPerNode: e.pl.cores, Affinity: e.pl.affinity,
+			Capped: true, PerNode: e.pl.perNode, PhaseCores: e.pl.phaseCores,
+		})
+		if err != nil {
+			st.failure = err
+			return false
+		}
+		e.eval = res
+		e.state = entryEvaled
+	}
+	if st.eng.Now()+e.eval.Time > deadline {
 		return false // would delay the queue head past the shadow time
 	}
 
 	// Map subcluster slots back to global node ids (the coordinator
 	// emits slots ascending, and the free list is ascending, so the
 	// globals arrive sorted for the free-list subtract/merge).
-	globals := make([]int, 0, len(d.Plan.NodeIDs))
-	for _, slot := range d.Plan.NodeIDs {
-		globals = append(globals, st.free[slot])
+	rj := st.acquireRecord()
+	for _, slot := range e.pl.nodeIDs {
+		rj.globalIDs = append(rj.globalIDs, st.free[slot])
 	}
 
 	st.accountPower()
-	used := d.Plan.TotalBudget()
+	used := e.pl.totalBudget
 	st.freeW -= used
-	st.takeFree(globals)
-	rj := &runningJob{
-		job: j,
-		result: &JobResult{
-			ID: j.ID, Arrival: j.Arrival, Start: st.eng.Now(),
-			Nodes: len(globals), Cores: d.Plan.Cores,
-			PerNodeW: d.Plan.PerNode[0].Total(),
-		},
-		globalIDs:  globals,
-		cores:      d.Plan.Cores,
-		affinity:   d.Plan.Affinity,
-		perNode:    d.Plan.PerNode[0],
-		iterTime:   res.IterTime,
-		itersLeft:  float64(res.Iterations),
-		lastUpdate: st.eng.Now(),
-		powerUsed:  used,
-		sub:        subCluster(st.s.Cluster, globals),
+	st.takeFree(rj.globalIDs)
+	now := st.eng.Now()
+	rj.job = j
+	rj.result = JobResult{
+		ID: j.ID, Arrival: j.Arrival, Start: now,
+		Nodes: len(rj.globalIDs), Cores: e.pl.cores,
+		PerNodeW: e.pl.perNode[0].Total(),
 	}
-	rj.baseIterTime = res.IterTime
+	rj.cores = e.pl.cores
+	rj.affinity = e.pl.affinity
+	rj.perNode = e.pl.perNode[0]
+	rj.iterTime = e.eval.IterTime
+	rj.baseIterTime = e.eval.IterTime
+	rj.itersLeft = float64(e.eval.Iterations)
+	rj.lastUpdate = now
+	rj.powerUsed = used
+	rj.sub = fillSub(rj.sub, st.s.Cluster, rj.globalIDs)
 	st.running[j.ID] = rj
 	if st.inj != nil {
-		for _, g := range globals {
+		for _, g := range rj.globalIDs {
 			st.runningOn[g] = rj
 		}
-		rj.result.NodeIDs = globals
+		rj.result.NodeIDs = rj.globalIDs
 		rj.result.Retries = st.retries[j.ID]
 		if f := st.jobFactor(rj); f > 1 {
-			rj.iterTime = res.IterTime * f
+			rj.iterTime = e.eval.IterTime * f
 		}
 		if t0, ok := st.killedAt[j.ID]; ok {
 			mReschedSeconds.Observe(st.eng.Now() - t0)
@@ -606,12 +830,14 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 	return true
 }
 
-// scheduleCompletion (re)schedules a running job's finish event.
+// scheduleCompletion (re)schedules a running job's finish event. The
+// event references the job by arena slot — no closure, no allocation
+// beyond the engine's recycled event records.
 func (st *schedState) scheduleCompletion(rj *runningJob) {
 	if rj.completion != nil {
 		rj.completion.Cancel()
 	}
-	ev, err := st.eng.After(rj.itersLeft*rj.iterTime, func() { st.finish(rj) })
+	ev, err := st.eng.AfterHandler(rj.itersLeft*rj.iterTime, st, evkCompletion, uint64(rj.slot))
 	if err != nil {
 		st.failure = err
 		return
@@ -638,14 +864,21 @@ func (st *schedState) finish(rj *runningJob) {
 	mJobsFinished.Inc()
 	st.accountPower()
 	rj.result.Finish = st.eng.Now()
-	st.stats.Jobs = append(st.stats.Jobs, *rj.result)
+	jr := rj.result
+	if jr.NodeIDs != nil {
+		// The in-flight result aliases the record's reusable node
+		// buffer; terminal snapshots own their copy.
+		jr.NodeIDs = append([]int(nil), jr.NodeIDs...)
+	}
+	st.stats.Jobs = append(st.stats.Jobs, jr)
 	if st.hooks.onFinish != nil {
-		st.hooks.onFinish(*rj.result)
+		st.hooks.onFinish(jr)
 	}
 	delete(st.running, rj.job.ID)
 	st.shadowOK = false
 	st.freeW += rj.powerUsed
 	st.releaseNodes(rj.globalIDs)
+	st.releaseRecord(rj)
 	st.jobDone()
 	st.dispatch()
 	if st.s.Config.Reallocate {
@@ -664,11 +897,12 @@ func (st *schedState) reallocate() {
 	if st.freeW <= 1 || len(st.running) == 0 {
 		return
 	}
-	ids := make([]string, 0, len(st.running))
+	ids := st.reallocIDs[:0]
 	for id := range st.running {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids) // determinism
+	st.reallocIDs = ids
 	share := st.freeW / float64(len(ids))
 	for _, id := range ids {
 		rj := st.running[id]
@@ -679,11 +913,12 @@ func (st *schedState) reallocate() {
 		}
 		spec := st.s.Cluster.Spec()
 		newPerNode := rj.perNode.Total() + share/float64(len(rj.globalIDs))
-		cfg, err := recommend.Recommend(spec, prof, pd, newPerNode, 1.0)
-		if err != nil || cfg.Cores != rj.cores {
+		cfg, ok := recommend.Best(spec, prof, pd, newPerNode, 1.0, 0)
+		if !ok || cfg.Cores != rj.cores {
 			// Only power boosts that keep the execution configuration
 			// are safe mid-run (cores/affinity cannot change without a
 			// restart).
+			var err error
 			cfg, err = fixedConfigBoost(spec, pd, rj, newPerNode)
 			if err != nil {
 				continue
@@ -697,6 +932,10 @@ func (st *schedState) reallocate() {
 	}
 }
 
+// errNoBoost reports that a bigger budget cannot speed up a job's
+// fixed configuration; reallocate treats it as "skip this job".
+var errNoBoost = errors.New("jobsched: no boost available")
+
 // fixedConfigBoost sizes a bigger budget for the job's existing
 // (cores, affinity) configuration.
 func fixedConfigBoost(spec *hw.NodeSpec, pd *perfmodel.Predictor, rj *runningJob, perNode float64) (recommend.NodeConfig, error) {
@@ -705,7 +944,7 @@ func fixedConfigBoost(spec *hw.NodeSpec, pd *perfmodel.Predictor, rj *runningJob
 		float64(sockets)*spec.MemMaxPower)
 	cpu := perNode - mem
 	if cpu <= rj.perNode.CPU {
-		return recommend.NodeConfig{}, fmt.Errorf("jobsched: no boost available")
+		return recommend.NodeConfig{}, errNoBoost
 	}
 	f, _, ok := power.EffectiveFreq(spec, rj.cores, sockets, cpu, 1.0)
 	return recommend.NodeConfig{
@@ -795,12 +1034,13 @@ func (st *schedState) shedPower() {
 		return
 	}
 	var totalAlloc float64
-	ids := make([]string, 0, len(st.running))
+	ids := st.reallocIDs[:0]
 	for id, rj := range st.running {
 		ids = append(ids, id)
 		totalAlloc += rj.powerUsed
 	}
 	sort.Strings(ids)
+	st.reallocIDs = ids
 	target := totalAlloc + st.freeW // freeW < 0
 	if target < 1 {
 		target = 1
@@ -837,13 +1077,32 @@ func shrinkBudget(spec *hw.NodeSpec, rj *runningJob, perNode float64) power.Budg
 	return power.Budget{CPU: cpu, Mem: mem}
 }
 
-// subCluster builds a cluster view over the given global node ids
-// (slots renumbered 0..n-1, sharing the node objects' variability).
-func subCluster(cl *hw.Cluster, ids []int) *hw.Cluster {
-	nodes := make([]*hw.Node, len(ids))
-	for i, id := range ids {
-		orig := cl.Nodes[id]
-		nodes[i] = &hw.Node{ID: i, Spec: orig.Spec, PowerEff: orig.PowerEff}
+// fillSub (re)builds a cluster view over the given global node ids
+// (slots renumbered 0..n-1) into dst, reusing dst's node objects; a nil
+// dst allocates a fresh view. The result shares the source's specs.
+func fillSub(dst *hw.Cluster, cl *hw.Cluster, ids []int) *hw.Cluster {
+	if dst == nil {
+		dst = &hw.Cluster{}
 	}
-	return &hw.Cluster{Nodes: nodes, LinkBW: cl.LinkBW, CommBaseLatency: cl.CommBaseLatency}
+	dst.LinkBW = cl.LinkBW
+	dst.CommBaseLatency = cl.CommBaseLatency
+	if cap(dst.Nodes) < len(ids) {
+		nodes := make([]*hw.Node, len(ids))
+		copy(nodes, dst.Nodes[:cap(dst.Nodes)])
+		dst.Nodes = nodes
+	} else {
+		dst.Nodes = dst.Nodes[:len(ids)]
+	}
+	for i, id := range ids {
+		n := dst.Nodes[i]
+		if n == nil {
+			n = &hw.Node{}
+			dst.Nodes[i] = n
+		}
+		orig := cl.Nodes[id]
+		n.ID = i
+		n.Spec = orig.Spec
+		n.PowerEff = orig.PowerEff
+	}
+	return dst
 }

@@ -304,7 +304,7 @@ func TestPolicyString(t *testing.T) {
 
 func TestSubCluster(t *testing.T) {
 	cl := hw.NewCluster(4, hw.HaswellSpec(), 0.05, 3)
-	sub := subCluster(cl, []int{1, 3})
+	sub := fillSub(nil, cl, []int{1, 3})
 	if sub.NumNodes() != 2 {
 		t.Fatalf("subcluster has %d nodes", sub.NumNodes())
 	}

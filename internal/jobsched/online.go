@@ -229,7 +229,8 @@ func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
 	j := Job{ID: id, App: app, Arrival: now}
 	o.jobs[id] = &jobRecord{job: j, state: JobQueued}
 	o.st.jobsLeft++
-	if _, err := o.st.eng.At(now, func() { o.st.arrive(j) }); err != nil {
+	o.st.pendingArrival = j
+	if _, err := o.st.eng.AtHandler(now, o.st, evkSubmit, 0); err != nil {
 		return JobStatus{}, err
 	}
 	// Fire the arrival (and anything else already due at now) so the
@@ -241,6 +242,35 @@ func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
 		return JobStatus{}, o.st.failure
 	}
 	return o.Status(id)
+}
+
+// Submission is one entry of a SubmitBatch call.
+type Submission struct {
+	ID  string
+	App *workload.Spec
+}
+
+// SubmitResult is one entry of SubmitBatch's response: the job's
+// status after admission, or the per-entry error.
+type SubmitResult struct {
+	Status JobStatus
+	Err    error
+}
+
+// SubmitBatch admits a batch of jobs at the current virtual time, in
+// order. Each entry carries exactly the semantics of one Submit call —
+// the i-th result (status or error, including mid-batch duplicate and
+// sticky-failure rejections) is identical to what the i-th of N serial
+// Submit calls would have returned — while letting callers amortise
+// their own admission, locking and wakeup over the batch (the HTTP
+// front takes one admission slot and one driver lock per batch instead
+// of per job).
+func (o *Online) SubmitBatch(subs []Submission) []SubmitResult {
+	out := make([]SubmitResult, len(subs))
+	for i, sub := range subs {
+		out[i].Status, out[i].Err = o.Submit(sub.ID, sub.App)
+	}
+	return out
 }
 
 // Status reports the current state of a submitted job.
@@ -286,6 +316,22 @@ func (o *Online) Status(id string) (JobStatus, error) {
 		return js, nil
 	}
 	js.State = JobQueued
+	// Tail fast path: a job queried right after submission (every
+	// Submit returns through here) sits at the live tail of the queue,
+	// so its position is qlive-1 without walking the queue. Without
+	// this, sustained submission into a saturated cluster is quadratic
+	// in queue depth.
+	for qi := len(o.st.queue) - 1; qi >= o.st.qhead; qi-- {
+		e := &o.st.queue[qi]
+		if e.started {
+			continue
+		}
+		if e.job.ID == id {
+			js.QueuePos = o.st.qlive - 1
+			return js, nil
+		}
+		break
+	}
 	pos := 0
 	for qi := o.st.qhead; qi < len(o.st.queue); qi++ {
 		e := &o.st.queue[qi]
@@ -347,6 +393,7 @@ func (o *Online) Cancel(id string) (float64, error) {
 		reclaimed = rj.powerUsed
 		st.freeW += reclaimed
 		st.releaseNodes(rj.globalIDs)
+		st.releaseRecord(rj)
 		st.jobDone()
 		st.dispatch()
 		if st.s.Config.Reallocate {

@@ -43,17 +43,14 @@ type NodeConfig struct {
 	CapOK bool
 }
 
-// candidateCores enumerates the concurrency candidates: even counts
-// (the paper floors to even) plus 1, bounded above by limit.
-func candidateCores(maxCores, limit int) []int {
-	if limit > maxCores {
-		limit = maxCores
+// nextCore steps through the concurrency candidates in search order:
+// 1, then the even counts (the paper floors to even). The caller bounds
+// the walk with the class-dependent core limit.
+func nextCore(n int) int {
+	if n == 1 {
+		return 2
 	}
-	out := []int{1}
-	for n := 2; n <= limit; n += 2 {
-		out = append(out, n)
-	}
-	return out
+	return n + 2
 }
 
 // coreLimit bounds the concurrency search per class: parabolic
@@ -86,28 +83,59 @@ func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel
 	if tolerance < 0 {
 		return NodeConfig{}, fmt.Errorf("recommend: negative slowdown tolerance %g", tolerance)
 	}
+	best, ok := Best(spec, p, pd, nodeBudget, eff, tolerance)
+	if !ok {
+		return NodeConfig{}, fmt.Errorf("recommend: no feasible configuration under %.1f W", nodeBudget)
+	}
+	return best, nil
+}
+
+// cpuFracsFull is the performance objective's single operating point:
+// spend the whole CPU remainder. Package-level so the hot path borrows
+// it without allocating.
+var cpuFracsFull = [...]float64{1.0}
+
+// cpuFracsEnergy adds reduced-frequency operating points for the
+// energy objective (power is superlinear in f, so a bounded slowdown
+// can buy a larger power reduction).
+var cpuFracsEnergy = [...]float64{1.0, 0.85, 0.7, 0.55}
+
+// Best is the allocation-free core of the recommender: it returns the
+// selected configuration and false when no candidate fits (non-positive
+// or starvation-level budget, negative tolerance). It is the hot-path
+// entry used by the scheduler's dispatch loop; RecommendWithTolerance
+// wraps it with formatted errors for human-facing callers. With
+// tolerance 0 (the pure-performance objective) it performs no heap
+// allocations.
+func Best(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel.Predictor, nodeBudget, eff, tolerance float64) (NodeConfig, bool) {
+	if nodeBudget <= 0 || tolerance < 0 {
+		return NodeConfig{}, false
+	}
 	mRecommends.Inc()
 	type scored struct {
 		cfg   NodeConfig
 		watts float64 // predicted node power at the operating point
 	}
+	// The energy objective revisits every candidate within the slowdown
+	// window, so only it retains them; the performance objective keeps
+	// a running best and never allocates.
 	var candidates []scored
+	limit := coreLimit(p)
+	if limit > p.NodeCores {
+		limit = p.NodeCores
+	}
 	best := NodeConfig{PredIterTime: math.Inf(1)}
-	for _, n := range candidateCores(p.NodeCores, coreLimit(p)) {
+	for n := 1; n <= limit; n = nextCore(n) {
 		sockets := profile.SocketsUsed(spec, n, p.Affinity)
 		memBase := float64(sockets) * spec.MemBasePower
 		memMax := float64(sockets) * spec.MemMaxPower
 
 		// Candidate DRAM budgets around the application's demand.
 		demand := pd.MemDemandWatts(n) + MemHeadroomWatts
-		cands := []float64{demand, demand * 0.8, demand * 1.25, memBase + 1}
-		// The performance objective always spends the full CPU
-		// remainder; the energy objective may also sacrifice frequency
-		// (power is superlinear in f, so a bounded slowdown can buy a
-		// larger power reduction).
-		cpuFracs := []float64{1.0}
+		cands := [...]float64{demand, demand * 0.8, demand * 1.25, memBase + 1}
+		cpuFracs := cpuFracsFull[:]
 		if tolerance > 0 {
-			cpuFracs = []float64{1.0, 0.85, 0.7, 0.55}
+			cpuFracs = cpuFracsEnergy[:]
 		}
 		for _, mem := range cands {
 			mem = math.Max(memBase, math.Min(mem, memMax))
@@ -125,7 +153,9 @@ func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel
 					PredIterTime: t,
 					CapOK:        ok,
 				}
-				candidates = append(candidates, scored{cfg, pDraw + mem})
+				if tolerance > 0 {
+					candidates = append(candidates, scored{cfg, pDraw + mem})
+				}
 				if t < best.PredIterTime-1e-12 ||
 					(math.Abs(t-best.PredIterTime) <= 1e-12 && n < best.Cores) {
 					best = cfg
@@ -134,7 +164,7 @@ func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel
 		}
 	}
 	if math.IsInf(best.PredIterTime, 1) {
-		return NodeConfig{}, fmt.Errorf("recommend: no feasible configuration under %.1f W", nodeBudget)
+		return NodeConfig{}, false
 	}
 	if tolerance > 0 {
 		// Energy objective: minimum predicted energy (power x time)
@@ -162,7 +192,7 @@ func RecommendWithTolerance(spec *hw.NodeSpec, p *profile.Profile, pd *perfmodel
 	if best.Budget.CPU > maxUseful {
 		best.Budget.CPU = maxUseful
 	}
-	return best, nil
+	return best, true
 }
 
 // Unconstrained returns the configuration the recommender would pick

@@ -199,7 +199,14 @@ func TestPhasePlan(t *testing.T) {
 }
 
 func TestCandidateCoresShape(t *testing.T) {
-	got := candidateCores(24, 24)
+	walk := func(limit int) []int {
+		var out []int
+		for n := 1; n <= limit; n = nextCore(n) {
+			out = append(out, n)
+		}
+		return out
+	}
+	got := walk(24)
 	if got[0] != 1 {
 		t.Error("candidates must include 1")
 	}
@@ -208,7 +215,7 @@ func TestCandidateCoresShape(t *testing.T) {
 			t.Errorf("odd candidate %d (predictions are floored to even)", n)
 		}
 	}
-	limited := candidateCores(24, 10)
+	limited := walk(10)
 	if limited[len(limited)-1] != 10 {
 		t.Errorf("limit not respected: %v", limited)
 	}

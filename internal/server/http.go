@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	httppprof "net/http/pprof"
 	"time"
 
 	"repro/internal/jobsched"
@@ -18,13 +19,38 @@ import (
 	"repro/internal/workload"
 )
 
-// SubmitRequest is the body of POST /v1/jobs.
+// SubmitRequest is the body of POST /v1/jobs and one entry of the
+// batch submit body.
 type SubmitRequest struct {
 	// ID optionally names the job; empty means the server assigns
 	// job-<n>.
 	ID string `json:"id,omitempty"`
 	// App is the application name (workload.SuiteByName).
 	App string `json:"app"`
+}
+
+// maxBatch bounds one POST /v1/jobs:batch body; bigger batches are
+// rejected with 400 (split them client-side).
+const maxBatch = 4096
+
+// BatchSubmitRequest is the body of POST /v1/jobs:batch.
+type BatchSubmitRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// BatchEntryJSON is one entry of the batch response, in request order:
+// either the created job, or the per-entry rejection with the status
+// code the same request would have received on POST /v1/jobs.
+type BatchEntryJSON struct {
+	Job   *JobJSON `json:"job,omitempty"`
+	Error string   `json:"error,omitempty"`
+	Code  int      `json:"code"`
+}
+
+// BatchResponseJSON is the wire form of POST /v1/jobs:batch.
+type BatchResponseJSON struct {
+	Admitted int              `json:"admitted"`
+	Entries  []BatchEntryJSON `json:"entries"`
 }
 
 // JobJSON is the wire form of a job status.
@@ -116,6 +142,7 @@ func resolveApp(name string) (*workload.Spec, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.instrument("submit", s.handleSubmit))
+	mux.HandleFunc("POST /v1/jobs:batch", s.instrument("batch", s.handleSubmitBatch))
 	mux.HandleFunc("GET /v1/jobs", s.instrument("list", s.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("status", s.handleStatus))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.instrument("cancel", s.handleCancel))
@@ -124,6 +151,13 @@ func (s *Server) Handler() http.Handler {
 	tele := telemetry.Handler(s.opts.Registry)
 	mux.Handle("/metrics", tele)
 	mux.Handle("/telemetry.json", tele)
+	if s.opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	return mux
 }
 
@@ -151,29 +185,39 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeErr maps a driver/server error to its HTTP status.
-func (s *Server) writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
+// errCode maps a driver/server error to the HTTP status the same
+// submission would receive on the single-job endpoint. Pure mapping —
+// headers and rejection counters stay in writeErr, which owns the
+// whole-request error path.
+func errCode(err error) int {
 	switch {
 	case errors.Is(err, errQueueFull):
-		code = http.StatusTooManyRequests
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining), errors.Is(err, errBusy):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errUnknownApp):
+		return http.StatusBadRequest
+	case errors.Is(err, jobsched.ErrUnknownJob):
+		return http.StatusNotFound
+	case errors.Is(err, jobsched.ErrDuplicateJob),
+		errors.Is(err, jobsched.ErrJobTerminal):
+		return http.StatusConflict
+	}
+	return http.StatusInternalServerError
+}
+
+// writeErr maps a driver/server error to its HTTP status.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", "1")
 		s.mRejected.Inc()
 	case errors.Is(err, errDraining):
-		code = http.StatusServiceUnavailable
 		s.mRejected.Inc()
 	case errors.Is(err, errBusy):
-		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", "1")
-	case errors.Is(err, errUnknownApp):
-		code = http.StatusBadRequest
-	case errors.Is(err, jobsched.ErrUnknownJob):
-		code = http.StatusNotFound
-	case errors.Is(err, jobsched.ErrDuplicateJob),
-		errors.Is(err, jobsched.ErrJobTerminal):
-		code = http.StatusConflict
 	}
-	writeJSON(w, code, ErrorJSON{Error: err.Error()})
+	writeJSON(w, errCode(err), ErrorJSON{Error: err.Error()})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -190,6 +234,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, jobJSON(js))
+}
+
+func (s *Server) handleSubmitBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "batch has no jobs"})
+		return
+	}
+	if len(req.Jobs) > maxBatch {
+		writeJSON(w, http.StatusBadRequest, ErrorJSON{Error: "batch exceeds limit"})
+		return
+	}
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	results, err := s.submitBatch(ctx, req.Jobs)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	out := BatchResponseJSON{Entries: make([]BatchEntryJSON, len(results))}
+	for i, res := range results {
+		if res.Err != nil {
+			out.Entries[i] = BatchEntryJSON{Error: res.Err.Error(), Code: errCode(res.Err)}
+			continue
+		}
+		jj := jobJSON(res.Status)
+		out.Entries[i] = BatchEntryJSON{Job: &jj, Code: http.StatusCreated}
+		out.Admitted++
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -55,6 +55,9 @@ type Options struct {
 	MaxTick time.Duration
 	// Registry receives the server's metrics. Default telemetry.Default.
 	Registry *telemetry.Registry
+	// Pprof exposes net/http/pprof under /debug/pprof/ on the daemon's
+	// listener (cmd/clipd -pprof).
+	Pprof bool
 }
 
 // withDefaults fills unset options.
@@ -86,8 +89,9 @@ type Server struct {
 	// lock is a one-slot channel used as the driver mutex so acquisition
 	// can race a context deadline.
 	lock chan struct{}
-	// slots bounds submissions waiting on the lock (admission control).
-	slots chan struct{}
+	// adm bounds submissions waiting on the lock (sharded admission
+	// control; see admission.go).
+	adm *admission
 
 	// clock and epoch anchor the wall→virtual mapping; clock is
 	// swappable so bridge tests run on a fake wall clock.
@@ -128,7 +132,7 @@ func New(sched *jobsched.Scheduler, opts Options) (*Server, error) {
 		opts:     opts,
 		drv:      drv,
 		lock:     make(chan struct{}, 1),
-		slots:    make(chan struct{}, opts.QueueDepth),
+		adm:      newAdmission(opts.QueueDepth),
 		clock:    time.Now,
 		stop:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
@@ -145,7 +149,7 @@ func New(sched *jobsched.Scheduler, opts Options) (*Server, error) {
 	s.gVirtualNow = reg.Gauge("clip_virtual_now_seconds",
 		"current virtual time of the online scheduler")
 	s.hRoutes = make(map[string]*telemetry.Histogram)
-	for _, route := range []string{"submit", "status", "list", "cancel", "cluster"} {
+	for _, route := range []string{"submit", "batch", "status", "list", "cancel", "cluster"} {
 		s.hRoutes[route] = reg.Histogram(
 			telemetry.Label("clip_http_request_seconds", "route", route),
 			"wall-clock latency of clipd HTTP requests by route", nil)
@@ -317,15 +321,14 @@ func (s *Server) submit(ctx context.Context, id, app string) (jobsched.JobStatus
 	if s.draining.Load() {
 		return jobsched.JobStatus{}, errDraining
 	}
-	select {
-	case s.slots <- struct{}{}:
-	default:
+	shard, ok := s.adm.tryAcquire()
+	if !ok {
 		return jobsched.JobStatus{}, errQueueFull
 	}
-	s.gWaiting.Set(float64(len(s.slots)))
+	s.gWaiting.Set(float64(s.adm.waiting()))
 	defer func() {
-		<-s.slots
-		s.gWaiting.Set(float64(len(s.slots)))
+		s.adm.release(shard)
+		s.gWaiting.Set(float64(s.adm.waiting()))
 	}()
 	if err := s.acquire(ctx); err != nil {
 		return jobsched.JobStatus{}, fmt.Errorf("%w: %v", errBusy, err)
@@ -351,6 +354,64 @@ func (s *Server) submit(ctx context.Context, id, app string) (jobsched.JobStatus
 	s.mSubmits.Inc()
 	s.wake()
 	return js, nil
+}
+
+// submitBatch admits a batch of jobs under one admission slot, one
+// driver-lock acquisition and one pump wakeup. Whole-batch failures
+// (admission, drain, lock deadline, sticky driver failure) return an
+// error; otherwise each entry resolves independently with exactly the
+// per-job semantics of submit, in order.
+func (s *Server) submitBatch(ctx context.Context, reqs []SubmitRequest) ([]jobsched.SubmitResult, error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	shard, ok := s.adm.tryAcquire()
+	if !ok {
+		return nil, errQueueFull
+	}
+	s.gWaiting.Set(float64(s.adm.waiting()))
+	defer func() {
+		s.adm.release(shard)
+		s.gWaiting.Set(float64(s.adm.waiting()))
+	}()
+	if err := s.acquire(ctx); err != nil {
+		return nil, fmt.Errorf("%w: %v", errBusy, err)
+	}
+	defer s.release()
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	if err := s.syncLocked(); err != nil {
+		return nil, err
+	}
+	out := make([]jobsched.SubmitResult, len(reqs))
+	subs := make([]jobsched.Submission, 0, len(reqs))
+	idx := make([]int, 0, len(reqs)) // out positions of resolvable entries
+	for i, r := range reqs {
+		spec, err := resolveApp(r.App)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		id := r.ID
+		if id == "" {
+			id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
+		}
+		subs = append(subs, jobsched.Submission{ID: id, App: spec})
+		idx = append(idx, i)
+	}
+	admitted := uint64(0)
+	for k, r := range s.drv.SubmitBatch(subs) {
+		out[idx[k]] = r
+		if r.Err == nil {
+			admitted++
+		}
+	}
+	if admitted > 0 {
+		s.mSubmits.Add(admitted)
+		s.wake()
+	}
+	return out, nil
 }
 
 // cancel withdraws a job under the request deadline.

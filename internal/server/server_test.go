@@ -212,7 +212,7 @@ func TestAdmissionControlQueueFullAndDeadline(t *testing.T) {
 	}()
 	// Give the first submission time to occupy the single slot.
 	deadline := time.Now().Add(time.Second)
-	for len(s.slots) == 0 && time.Now().Before(deadline) {
+	for s.adm.waiting() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
@@ -375,7 +375,7 @@ func TestHTTPBackpressure429(t *testing.T) {
 		done <- doJSON(t, "POST", base+"/v1/jobs", SubmitRequest{App: "comd"}, nil)
 	}()
 	deadline := time.Now().Add(time.Second)
-	for len(s.slots) == 0 && time.Now().Before(deadline) {
+	for s.adm.waiting() == 0 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	req, _ := http.NewRequest("POST", base+"/v1/jobs",
@@ -513,5 +513,74 @@ func TestHTTPConcurrentSubmitsUnderPump(t *testing.T) {
 		if !js.State.Terminal() {
 			t.Errorf("job %s not terminal: %v", js.ID, js.State)
 		}
+	}
+}
+
+func TestHTTPSubmitBatch(t *testing.T) {
+	_, base := httpServer(t, jobsched.Config{Bound: 2000}, Options{Timescale: 1e-6})
+	// Mixed batch: two good entries, a duplicate and an unknown app.
+	// Failures are per-entry — they must not stop later entries.
+	req := BatchSubmitRequest{Jobs: []SubmitRequest{
+		{ID: "b1", App: "comd"},
+		{ID: "b1", App: "comd"},
+		{App: "bogus"},
+		{ID: "b2", App: "amg"},
+	}}
+	var out BatchResponseJSON
+	if code := doJSON(t, "POST", base+"/v1/jobs:batch", req, &out); code != http.StatusOK {
+		t.Fatalf("batch code = %d, want 200", code)
+	}
+	if out.Admitted != 2 || len(out.Entries) != 4 {
+		t.Fatalf("admitted=%d entries=%d, want 2/4", out.Admitted, len(out.Entries))
+	}
+	wantCodes := []int{http.StatusCreated, http.StatusConflict, http.StatusBadRequest, http.StatusCreated}
+	for i, e := range out.Entries {
+		if e.Code != wantCodes[i] {
+			t.Errorf("entry %d code = %d, want %d (%+v)", i, e.Code, wantCodes[i], e)
+		}
+		if (e.Code == http.StatusCreated) != (e.Job != nil) {
+			t.Errorf("entry %d: job presence does not match code %d", i, e.Code)
+		}
+		if e.Code != http.StatusCreated && e.Error == "" {
+			t.Errorf("entry %d rejected without an error message", i)
+		}
+	}
+	if out.Entries[0].Job.ID != "b1" || out.Entries[3].Job.ID != "b2" {
+		t.Errorf("admitted ids %q/%q, want b1/b2",
+			out.Entries[0].Job.ID, out.Entries[3].Job.ID)
+	}
+	var list []JobJSON
+	if code := doJSON(t, "GET", base+"/v1/jobs", nil, &list); code != http.StatusOK || len(list) != 2 {
+		t.Errorf("list after batch: code %d, %d jobs, want 2", code, len(list))
+	}
+}
+
+func TestHTTPSubmitBatchValidation(t *testing.T) {
+	_, base := httpServer(t, jobsched.Config{Bound: 2000}, Options{Timescale: 1e-6})
+	if code := doJSON(t, "POST", base+"/v1/jobs:batch", BatchSubmitRequest{}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty batch code = %d, want 400", code)
+	}
+	huge := BatchSubmitRequest{Jobs: make([]SubmitRequest, maxBatch+1)}
+	for i := range huge.Jobs {
+		huge.Jobs[i] = SubmitRequest{App: "comd"}
+	}
+	if code := doJSON(t, "POST", base+"/v1/jobs:batch", huge, nil); code != http.StatusBadRequest {
+		t.Errorf("oversized batch code = %d, want 400", code)
+	}
+}
+
+func TestHTTPPprofGated(t *testing.T) {
+	_, off := httpServer(t, jobsched.Config{Bound: 2000}, Options{Timescale: 1e-6})
+	if code := doJSON(t, "GET", off+"/debug/pprof/", nil, nil); code != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: code %d, want 404", code)
+	}
+	_, on := httpServer(t, jobsched.Config{Bound: 2000}, Options{Timescale: 1e-6, Pprof: true})
+	resp, err := http.Get(on + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with -pprof: code %d, want 200", resp.StatusCode)
 	}
 }

@@ -2,9 +2,11 @@ package singleflight
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestDoSequential(t *testing.T) {
@@ -24,17 +26,24 @@ func TestDoSequential(t *testing.T) {
 	}
 }
 
-func TestDoConcurrentShares(t *testing.T) {
+// concurrentShares runs n concurrent Do("k") calls against one blocked
+// executor and reports how many times fn ran. The executor is released
+// only once every caller is at or past its Do call (plus a scheduling
+// settle), so all callers normally dedupe onto the in-flight key; a
+// heavily loaded box can still deschedule a straggler long enough to
+// miss the window, which is why the caller retries.
+func concurrentShares(t *testing.T, n int) int32 {
+	t.Helper()
 	var g Group
-	var execs int32
+	var execs, entered int32
 	release := make(chan struct{})
-	const n = 16
 	var wg sync.WaitGroup
 	results := make([]int, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			atomic.AddInt32(&entered, 1)
 			v, err, _ := g.Do("k", func() (interface{}, error) {
 				atomic.AddInt32(&execs, 1)
 				<-release
@@ -47,20 +56,32 @@ func TestDoConcurrentShares(t *testing.T) {
 			results[i] = v.(int)
 		}(i)
 	}
-	// Let the goroutines pile up on the key, then release the one
-	// executor.
-	for atomic.LoadInt32(&execs) == 0 {
+	for atomic.LoadInt32(&entered) < int32(n) {
+		runtime.Gosched()
 	}
+	time.Sleep(10 * time.Millisecond)
 	close(release)
 	wg.Wait()
-	if execs != 1 {
-		t.Errorf("fn executed %d times, want 1", execs)
-	}
 	for i, v := range results {
 		if v != 7 {
 			t.Errorf("caller %d got %d", i, v)
 		}
 	}
+	return execs
+}
+
+func TestDoConcurrentShares(t *testing.T) {
+	// A dedup failure is systematic (every attempt executes fn many
+	// times); a straggler losing the scheduling race is transient, so
+	// retry before declaring failure.
+	var execs int32
+	for attempt := 0; attempt < 3; attempt++ {
+		if execs = concurrentShares(t, 16); execs == 1 {
+			return
+		}
+		t.Logf("attempt %d: fn executed %d times, retrying", attempt, execs)
+	}
+	t.Errorf("fn executed %d times, want 1", execs)
 }
 
 func TestDoPropagatesError(t *testing.T) {

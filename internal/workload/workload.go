@@ -256,19 +256,26 @@ func (s *Spec) BWFactor() float64 {
 // up to maxNodes, in ascending order. An empty ProcCounts admits every
 // count 1..maxNodes.
 func (s *Spec) AllowedProcCounts(maxNodes int) []int {
-	var out []int
+	return s.AppendProcCounts(nil, maxNodes)
+}
+
+// AppendProcCounts appends the admissible process counts to dst and
+// returns the extended slice: the scratch-buffer variant of
+// AllowedProcCounts for callers that run once per schedule event and
+// must not allocate.
+func (s *Spec) AppendProcCounts(dst []int, maxNodes int) []int {
 	if len(s.ProcCounts) == 0 {
 		for i := 1; i <= maxNodes; i++ {
-			out = append(out, i)
+			dst = append(dst, i)
 		}
-		return out
+		return dst
 	}
 	for _, n := range s.ProcCounts {
 		if n >= 1 && n <= maxNodes {
-			out = append(out, n)
+			dst = append(dst, n)
 		}
 	}
-	return out
+	return dst
 }
 
 // single wraps one phase into a phase slice.

@@ -60,6 +60,28 @@ grep '^clipload ' "$TMP/clipload_full.txt" > "$TMP/clipload.txt"
 kill -TERM "$CLIPD_PID"
 wait "$CLIPD_PID" || { echo "clipd exited non-zero after drain" >&2; exit 1; }
 
+echo "== clipd serving throughput, 50k rps batched ==" >&2
+# The batched ingress row: 50k jobs/s offered through POST /v1/jobs:batch.
+# FCFS keeps per-event dispatch O(1) at six-figure queue depths.
+"$TMP/clipd" -listen 127.0.0.1:0 -budget 1200 -timescale 120 -policy fcfs \
+    -queue-depth 256 > "$TMP/clipd50k.log" 2>&1 &
+CLIPD_PID=$!
+ADDR=""
+i=0
+while [ "$i" -lt 100 ]; do
+    ADDR=$(sed -n 's|.*serving on http://\([^ ]*\).*|\1|p' "$TMP/clipd50k.log")
+    [ -n "$ADDR" ] && break
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "clipd (50k) did not start" >&2; cat "$TMP/clipd50k.log" >&2; exit 1; }
+"$TMP/clipload" -addr "$ADDR" -rps 50000 -batch 1024 -duration 5s -seed 1 \
+    | tee "$TMP/clipload50k_full.txt" >&2
+grep '^clipload ' "$TMP/clipload50k_full.txt" \
+    | sed 's/^clipload /clipload50k /' > "$TMP/clipload50k.txt"
+kill -TERM "$CLIPD_PID"
+wait "$CLIPD_PID" || { echo "clipd (50k) exited non-zero after drain" >&2; exit 1; }
+
 awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
 /^Benchmark/ {
     name = $1
@@ -94,6 +116,16 @@ awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
         lbody = lbody sprintf("%s\"%s\": %s", lbody == "" ? "" : ", ", k, v)
     }
 }
+/^clipload50k / {
+    # Same shape, batched 50k-rps run.
+    l50body = ""
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        k = substr($(i), 1, eq - 1)
+        v = substr($(i), eq + 1)
+        l50body = l50body sprintf("%s\"%s\": %s", l50body == "" ? "" : ", ", k, v)
+    }
+}
 END {
     printf "{\n  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -108,9 +140,10 @@ END {
         printf "    \"%s\": {%s}%s\n", cname[i], cbody[i], i < cn ? "," : ""
     printf "  },\n"
     printf "  \"clipload\": {%s},\n", lbody
+    printf "  \"clipload_batch_50k\": {%s},\n", l50body
     printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
     printf "}\n"
-}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" > "$OUT"
+}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" "$TMP/clipload50k.txt" > "$OUT"
 
 echo "wrote $OUT" >&2
 cat "$OUT"

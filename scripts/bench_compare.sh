@@ -1,0 +1,79 @@
+#!/bin/sh
+# bench_compare.sh — regression gate for the hot-path benchmarks.
+# Re-runs the tracked micro-benchmarks and compares them against the
+# committed baseline (BENCH_results.json): fails on >20% ns/op growth
+# or allocs/op growth, so a perf or allocation regression fails
+# `make check` instead of silently eroding the recorded numbers.
+#
+# Noise handling: each benchmark runs three times and the gate takes
+# the per-metric minimum — a shared box only ever adds time, so the
+# minimum is the honest estimate of the code's cost. allocs/op gets a
+# +1 absolute slack because the parallel search benchmarks jitter by
+# one allocation with goroutine scheduling; a real regression adds
+# allocations per operation and trips the gate regardless. If the
+# gate fails after an intentional change, regenerate the baseline
+# with `make bench` and commit it.
+#
+# Usage: ./scripts/bench_compare.sh [baseline.json]
+set -eu
+
+cd "$(dirname "$0")/.."
+BASE="${1:-BENCH_results.json}"
+[ -f "$BASE" ] || { echo "bench_compare: baseline $BASE not found" >&2; exit 1; }
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Same benchmark set AND iteration counts as scripts/bench.sh: the
+# per-op allocation numbers amortise one-time warm-up over the
+# iteration count, so only an identical -benchtime reproduces the
+# baseline's accounting.
+BENCHES='BenchmarkCLIPSchedule$|BenchmarkSimRun$|BenchmarkOptimalSearch$'
+BENCHES_LARGE='BenchmarkOptimalSearchLarge$|BenchmarkJobschedThroughput$'
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=50x -count=3 . > "$TMP/bench.txt"
+go test -run '^$' -bench "$BENCHES_LARGE" -benchmem -benchtime=5x -count=3 . >> "$TMP/bench.txt"
+
+awk -v base="$BASE" '
+BEGIN {
+    # Baseline values: bench.sh writes one "BenchmarkX": {...} object
+    # per line, so a line-oriented scrape is enough (no jq dependency).
+    while ((getline line < base) > 0) {
+        if (line !~ /"Benchmark/) continue
+        name = line; sub(/^[ \t]*"/, "", name); sub(/".*/, "", name)
+        if (match(line, /"ns_per_op": [0-9.e+]+/))
+            bns[name] = substr(line, RSTART + 13, RLENGTH - 13)
+        if (match(line, /"allocs_per_op": [0-9]+/))
+            ball[name] = substr(line, RSTART + 17, RLENGTH - 17)
+    }
+}
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    allocs = -1
+    for (i = 4; i <= NF; i++) if ($(i) == "allocs/op") allocs = $(i - 1) + 0
+    if (!(name in mns) || ns < mns[name]) mns[name] = ns
+    if (allocs >= 0 && (!(name in mall) || allocs < mall[name])) mall[name] = allocs
+    if (!(name in seen)) { seen[name] = ++n; names[n] = name }
+}
+END {
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        if (!(name in bns)) {
+            printf "bench_compare: %s not in baseline, skipping\n", name
+            continue
+        }
+        checked++
+        if (mns[name] > bns[name] * 1.20) {
+            printf "bench_compare: FAIL %s ns/op %.0f, baseline %.0f (+20%% limit)\n", name, mns[name], bns[name]
+            bad = 1
+        } else {
+            printf "bench_compare: ok   %s ns/op %.0f (baseline %.0f)\n", name, mns[name], bns[name]
+        }
+        if (name in mall && name in ball && mall[name] > ball[name] + 1) {
+            printf "bench_compare: FAIL %s allocs/op %d, baseline %s (no growth allowed)\n", name, mall[name], ball[name]
+            bad = 1
+        }
+    }
+    if (checked == 0) { print "bench_compare: no tracked benchmark matched the baseline"; exit 1 }
+    if (bad) print "bench_compare: regenerate the baseline with make bench if this change is intentional"
+    exit bad
+}' "$TMP/bench.txt"
