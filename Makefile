@@ -10,7 +10,8 @@
 GO ?= go
 
 # Packages whose exported identifiers must all carry doc comments.
-DOC_PKGS = ./internal/telemetry ./internal/core ./internal/coordinator ./internal/faults
+DOC_PKGS = ./internal/telemetry ./internal/core ./internal/coordinator ./internal/faults \
+	./internal/fed ./cmd/clipfed
 
 .PHONY: build test check docs bench suite
 
@@ -31,6 +32,7 @@ check:
 		-faults "crash-mtbf=120,mttr=20,exc-mtbf=240,seed=7" \
 		| grep -q "bound-invariant: ok"
 	./scripts/clipd_smoke.sh
+	./scripts/fed_smoke.sh
 	$(MAKE) docs
 
 docs:

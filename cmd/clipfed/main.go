@@ -1,0 +1,201 @@
+// Command clipfed drives a sharded multi-cluster federation from one
+// shared virtual clock: N regional scheduler shards, each an
+// independent power-bounded cluster, with cross-shard power lending
+// under an aggregate federation cap and a per-event invariant audit.
+//
+// Usage:
+//
+//	clipfed -shards 16 -jobs 256                       # lending on by default
+//	clipfed -shards 64 -routing power-headroom
+//	clipfed -shards 32 -agg-cap 12000 -lease-ttl 120   # capped federation
+//	clipfed -shards 4 -lend=false -routing locality    # isolated shards
+//
+// The run is fully deterministic: the same flags always produce
+// byte-identical stdout (the per-shard table, lease ledger summary and
+// invariant verdicts), which scripts/fed_smoke.sh exploits to
+// byte-compare repeat runs. Wall-clock timing goes to stderr so it
+// never perturbs the comparison. With -telemetry-out a JSON telemetry
+// report (clip_fed_* counters, per-shard queue gauges) is written
+// after the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/fed"
+	"repro/internal/jobsched"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	shards := flag.Int("shards", 16, "number of federated shards (1-1024)")
+	nodes := flag.Int("nodes", 4, "nodes per shard")
+	budget := flag.Float64("budget", 500, "nameplate power bound per shard in watts")
+	sigma := flag.Float64("sigma", 0.02, "manufacturing variability sigma")
+	policyName := flag.String("policy", "aggressive-backfill", "per-shard queueing policy: fcfs, backfill, aggressive-backfill")
+	routingName := flag.String("routing", "least-loaded", "job routing policy: least-loaded, power-headroom, locality")
+	jobs := flag.Int("jobs", 256, "jobs in the synthetic arrival trace")
+	meanGap := flag.Float64("gap", 4, "mean virtual seconds between arrivals")
+	seed := flag.Uint64("seed", 1, "arrival-trace seed")
+	lend := flag.Bool("lend", true, "enable the cross-shard power-lending broker")
+	aggCap := flag.Float64("agg-cap", 0, "aggregate federation cap in watts (0 = sum of shard budgets)")
+	leaseTTL := flag.Float64("lease-ttl", 240, "lease lifetime in virtual seconds")
+	quantum := flag.Float64("quantum", 60, "watts moved per lease")
+	teleOut := flag.String("telemetry-out", "", "write a telemetry report (JSON) here after the run")
+	flag.Parse()
+
+	if err := run(os.Stdout, *shards, *nodes, *budget, *sigma, *policyName,
+		*routingName, *jobs, *meanGap, *seed, *lend, *aggCap, *leaseTTL,
+		*quantum, *teleOut); err != nil {
+		fmt.Fprintln(os.Stderr, "clipfed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, shards, nodes int, budget, sigma float64, policyName,
+	routingName string, jobs int, meanGap float64, seed uint64, lend bool,
+	aggCap, leaseTTL, quantum float64, teleOut string) error {
+	if shards < 1 || shards > 1024 {
+		return fmt.Errorf("-shards must be in 1..1024, got %d", shards)
+	}
+	policy, err := parsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	routing, ok := fed.ParsePolicy(routingName)
+	if !ok {
+		return fmt.Errorf("unknown routing policy %q", routingName)
+	}
+
+	cfg := fed.Config{Routing: routing, Lending: fed.Lending{
+		Enabled: lend, AggregateCapW: aggCap, TTL: leaseTTL, QuantumW: quantum,
+	}}
+	for i := 0; i < shards; i++ {
+		cfg.Shards = append(cfg.Shards, fed.ShardConfig{
+			Nodes: nodes, BudgetW: budget, Sigma: sigma, Seed: int64(1000 + i),
+			Policy: policy, Reallocate: true,
+		})
+	}
+	f, err := fed.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	// Seeded synthetic trace: a Poisson-ish arrival stream over the
+	// standard workload suite, ids doubling as locality keys.
+	mix := workload.Suite()
+	r := rng.New(seed)
+	now := 0.0
+	for i := 0; i < jobs; i++ {
+		now += r.Range(0, 2*meanGap)
+		id := fmt.Sprintf("job-%05d", i)
+		if err := f.ScheduleArrival(now, id, mix[r.Intn(len(mix))], id); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	runErr := f.Run()
+	wall := time.Since(start)
+
+	report(w, f, shards, lend)
+	// Wall-clock throughput is nondeterministic; keep it off stdout so
+	// repeat runs stay byte-identical. The second line is the
+	// machine-readable row scripts/bench.sh lifts into BENCH_results.json.
+	fmt.Fprintf(os.Stderr, "clipfed: %d events, %d jobs in %.1f ms wall (%.0f events/s)\n",
+		f.Events(), jobs, wall.Seconds()*1e3, float64(f.Events())/wall.Seconds())
+	fmt.Fprintf(os.Stderr, "clipfed shards=%d jobs=%d events=%d leases=%d wall_ms=%.1f events_per_s=%.0f jobs_per_s=%.0f\n",
+		shards, jobs, f.Events(), len(f.Leases()), wall.Seconds()*1e3,
+		float64(f.Events())/wall.Seconds(), float64(jobs)/wall.Seconds())
+	if teleOut != "" {
+		if werr := telemetry.Default.WriteReportFile(teleOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "clipfed: telemetry report:", werr)
+		}
+	}
+	return runErr
+}
+
+// report renders the deterministic end-of-run summary.
+func report(w io.Writer, f *fed.Federation, shards int, lend bool) {
+	fmt.Fprintf(w, "clipfed: %d shards, routing %s, lending %s\n",
+		shards, routingString(f), onOff(lend))
+
+	t := trace.NewTable("shard", "jobs", "completed", "failed", "bound_w", "drained_at_s")
+	totalJobs, totalDone, totalFailed := 0, 0, 0
+	for _, sh := range f.Shards() {
+		done, failed := 0, 0
+		for _, js := range sh.Online.Jobs() {
+			switch js.State {
+			case jobsched.JobCompleted:
+				done++
+			case jobsched.JobFailed:
+				failed++
+			}
+		}
+		n := len(sh.Online.Jobs())
+		totalJobs += n
+		totalDone += done
+		totalFailed += failed
+		t.Add(sh.ID, n, done, failed, sh.Online.Bound(), sh.Online.Now())
+	}
+	t.Render(w)
+
+	expiries, recalls, releases := 0, 0, 0
+	var lentW float64
+	for _, l := range f.Leases() {
+		lentW += l.Watts
+		switch l.State {
+		case fed.LeaseExpired:
+			expiries++
+		case fed.LeaseRecalled:
+			recalls++
+		case fed.LeaseReleased:
+			releases++
+		}
+	}
+	fmt.Fprintf(w, "leases: %d granted (%.0f W moved): %d expired, %d recalled, %d released, %d active\n",
+		len(f.Leases()), lentW, expiries, recalls, releases, len(f.ActiveLeases()))
+
+	audits, violations := f.AuditStats()
+	verdict := "ok"
+	if violations > 0 || f.Err() != nil {
+		verdict = "VIOLATED"
+	}
+	fmt.Fprintf(w, "aggregate-cap invariant: %s (%d audits, %d violations)\n",
+		verdict, audits, violations)
+	lost := totalJobs - totalDone - totalFailed
+	fmt.Fprintf(w, "jobs: %d routed, %d completed, %d failed, %d lost\n",
+		totalJobs, totalDone, totalFailed, lost)
+	if lost == 0 {
+		fmt.Fprintln(w, "zero jobs lost")
+	}
+}
+
+func routingString(f *fed.Federation) string { return f.Routing().String() }
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+func parsePolicy(name string) (jobsched.Policy, error) {
+	switch name {
+	case "fcfs":
+		return jobsched.FCFS, nil
+	case "backfill":
+		return jobsched.Backfill, nil
+	case "aggressive-backfill":
+		return jobsched.AggressiveBackfill, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q", name)
+	}
+}

@@ -163,6 +163,9 @@ type Scratch struct {
 	budgets []power.Budget
 	phase   map[phaseKey]map[string]int
 	best    map[bestKey]bestMemo
+	// perNode stages a rebalance event's budgets; the event ring copies
+	// it into ring-owned storage, so the scratch is reused every pass.
+	perNode []telemetry.NodeBudget
 }
 
 // bestKey identifies one memoized per-node recommendation: the search
@@ -331,7 +334,7 @@ func (c *Coordinator) Place(app *workload.Spec, prof *profile.Profile, pd *perfm
 	out.PredTime = best.pred
 	out.Coordinated = coordinated
 	out.PhaseCores = sc.phasePlan(app, prof, best.cfg.Cores)
-	c.publish(app.Name, bound, ids, budgets, coordinated)
+	c.publish(sc, app.Name, bound, ids, budgets, coordinated)
 	return nil
 }
 
@@ -364,7 +367,7 @@ func nodeGauges(id int) (cpu, mem *telemetry.Gauge) {
 // publish reports the scheduling pass to the telemetry layer: the
 // per-node budget gauges every pass, plus a rebalance event carrying
 // the redistributed budgets when coordination ran.
-func (c *Coordinator) publish(app string, bound float64, ids []int, budgets []power.Budget, coordinated bool) {
+func (c *Coordinator) publish(sc *Scratch, app string, bound float64, ids []int, budgets []power.Budget, coordinated bool) {
 	mSchedules.Inc()
 	for i, id := range ids {
 		cpu, mem := nodeGauges(id)
@@ -376,14 +379,15 @@ func (c *Coordinator) publish(app string, bound float64, ids []int, budgets []po
 	}
 	mRebalances.Inc()
 	ev := telemetry.Event{Kind: telemetry.KindRebalance, App: app, BoundWatts: bound, Coordinated: true}
-	// Ring readers keep the event, so PerNode must be freshly owned —
-	// but exactly sized: one allocation, no append growth.
-	ev.PerNode = make([]telemetry.NodeBudget, len(ids))
+	// The ring copies PerNode into ring-owned (recycled) storage on
+	// Append, so the event is staged in the caller's reusable scratch.
+	sc.perNode = sc.perNode[:0]
 	for i, id := range ids {
-		ev.PerNode[i] = telemetry.NodeBudget{
+		sc.perNode = append(sc.perNode, telemetry.NodeBudget{
 			Node: id, CPUWatts: budgets[i].CPU, MemWatts: budgets[i].Mem,
-		}
+		})
 	}
+	ev.PerNode = sc.perNode
 	telemetry.Default.Events().Append(ev)
 }
 

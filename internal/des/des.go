@@ -304,6 +304,24 @@ func (e *Engine) Next() (float64, bool) {
 	return 0, false
 }
 
+// StepNext fires exactly the earliest pending live event and advances
+// the clock to its timestamp, reporting whether an event fired. It is
+// the single-step primitive of multi-engine orchestration: a layer
+// driving several engines from one shared clock (internal/fed) peeks
+// every member with Next and steps only the engine owning the earliest
+// event, so cross-engine causality stays deterministic.
+func (e *Engine) StepNext() (bool, error) {
+	if _, ok := e.Next(); !ok {
+		return false, nil
+	}
+	if err := e.step(e.Steps + 1); err != nil {
+		return false, err
+	}
+	mEvents.Add(1)
+	gQueuePeak.SetMax(float64(e.maxDepth))
+	return true, nil
+}
+
 // Run processes events until the queue is empty or time exceeds
 // horizon (0 = no horizon). It returns an error if the event count
 // exceeds maxSteps (runaway guard; 0 = default 50 million). An event

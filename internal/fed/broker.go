@@ -1,0 +1,261 @@
+package fed
+
+// The power-lending broker: after every federation event, shards with
+// starved queues borrow envelope headroom from idle shards in fixed
+// quanta. Every loan is a Lease with an explicit state machine
+//
+//	active ──TTL reached──────────────▶ expired
+//	active ──lender queue non-empty───▶ recalled
+//	active ──borrower no longer needs─▶ released
+//
+// and all three terminal transitions move the watts back through
+// jobsched.Online.SetBound, so a borrower that is still holding jobs
+// on borrowed power is throttled by the demand-response machinery
+// (shed/derate) rather than ever violating its bound invariant.
+
+import "fmt"
+
+// LeaseState is a lease's lifecycle phase.
+type LeaseState int
+
+// Lease lifecycle states.
+const (
+	// LeaseActive: the watts are moved from lender to borrower.
+	LeaseActive LeaseState = iota
+	// LeaseExpired: the TTL elapsed and the watts went back.
+	LeaseExpired
+	// LeaseRecalled: the lender's own queue needed the watts back
+	// before the TTL.
+	LeaseRecalled
+	// LeaseReleased: the borrower returned the watts early (queue
+	// drained with the lease's watts free).
+	LeaseReleased
+)
+
+// String implements fmt.Stringer.
+func (s LeaseState) String() string {
+	switch s {
+	case LeaseActive:
+		return "active"
+	case LeaseExpired:
+		return "expired"
+	case LeaseRecalled:
+		return "recalled"
+	case LeaseReleased:
+		return "released"
+	default:
+		return fmt.Sprintf("LeaseState(%d)", int(s))
+	}
+}
+
+// Lease is one cross-shard power loan.
+type Lease struct {
+	// ID is the lease's federation-wide sequence number (0-based).
+	ID int
+	// Lender and Borrower are shard ids.
+	Lender, Borrower int
+	// Watts is the moved power.
+	Watts float64
+	// GrantedAt and ExpiresAt are virtual timestamps; SettledAt is when
+	// the lease left the active state.
+	GrantedAt, ExpiresAt, SettledAt float64
+	// State is the lease's current lifecycle phase.
+	State LeaseState
+
+	expiry interface{ Cancel() } // pending fed-engine expiry event
+}
+
+// Leases returns every lease ever granted, by grant order. The slice
+// is the federation's own bookkeeping; callers must not mutate it.
+func (f *Federation) Leases() []*Lease { return f.leases }
+
+// ActiveLeases returns the currently active leases, ascending ID.
+func (f *Federation) ActiveLeases() []*Lease { return f.active }
+
+// brokerPass runs the lending state machine at the current event
+// boundary: recalls first (a lender's own demand outranks a borrower's
+// loan), then early releases, then new grants. Iteration is in shard /
+// lease order throughout, so repeat runs make identical decisions.
+func (f *Federation) brokerPass() {
+	if !f.cfg.Lending.Enabled || len(f.shards) < 2 {
+		return
+	}
+	f.recallPass()
+	f.releasePass()
+	f.grantPass()
+}
+
+// recallPass returns every lease whose lender has queued work: the
+// lender's own jobs outrank the borrower's loan, and the reclaimed
+// entitlement lets its queue dispatch on the next event.
+func (f *Federation) recallPass() {
+	for i := 0; i < len(f.active); {
+		l := f.active[i]
+		if f.shards[l.Lender].Online.QueueLen() > 0 {
+			f.settleLease(l, LeaseRecalled) // removes f.active[i]
+			continue
+		}
+		i++
+	}
+}
+
+// releasePass returns leases the borrower no longer needs: its queue is
+// empty and the leased watts sit unallocated, so returning them cannot
+// throttle anything.
+func (f *Federation) releasePass() {
+	for i := 0; i < len(f.active); {
+		l := f.active[i]
+		b := f.shards[l.Borrower]
+		if b.Online.QueueLen() == 0 && b.Online.FreeWatts() >= l.Watts {
+			f.settleLease(l, LeaseReleased)
+			continue
+		}
+		i++
+	}
+}
+
+// grantPass lends one quantum to each starved shard that can still
+// accept a lease, from the idle shard with the most envelope headroom.
+func (f *Federation) grantPass() {
+	cfg := f.cfg.Lending
+	for _, b := range f.shards {
+		if b.Online.QueueLen() == 0 || b.Online.FreeNodes() == 0 {
+			continue // no demand, or watts would not help (no nodes)
+		}
+		if f.borrowCount(b.ID) >= cfg.MaxBorrowed {
+			continue
+		}
+		lender := f.pickLender(b.ID)
+		if lender == nil {
+			continue
+		}
+		f.grant(lender, b)
+	}
+}
+
+// borrowCount counts a shard's active incoming leases.
+func (f *Federation) borrowCount(shard int) int {
+	n := 0
+	for _, l := range f.active {
+		if l.Borrower == shard {
+			n++
+		}
+	}
+	return n
+}
+
+// pickLender selects the idle shard with the most lendable headroom
+// (ties to the lower id); nil when nobody can cover a quantum.
+func (f *Federation) pickLender(borrower int) *Shard {
+	cfg := f.cfg.Lending
+	var best *Shard
+	var bestHead float64
+	for _, sh := range f.shards {
+		if sh.ID == borrower || sh.Online.QueueLen() > 0 {
+			continue
+		}
+		// Envelope headroom: free watts beyond the reserve, capped so
+		// the effective bound never drops below the floor.
+		head := sh.Online.FreeWatts() - cfg.ReserveFrac*sh.entitlement
+		if floorRoom := sh.eff - cfg.MinBoundFrac*sh.entitlement; head > floorRoom {
+			head = floorRoom
+		}
+		if head < cfg.QuantumW {
+			continue
+		}
+		if best == nil || head > bestHead {
+			best, bestHead = sh, head
+		}
+	}
+	return best
+}
+
+// grant moves one quantum from lender to borrower and schedules the
+// lease's expiry on the federation clock.
+func (f *Federation) grant(lender, borrower *Shard) {
+	w := f.cfg.Lending.QuantumW
+	l := &Lease{
+		ID: len(f.leases), Lender: lender.ID, Borrower: borrower.ID,
+		Watts: w, GrantedAt: f.now, ExpiresAt: f.now + f.cfg.Lending.TTL,
+	}
+	if err := f.moveBound(lender, -w); err != nil {
+		f.fail(err)
+		return
+	}
+	if err := f.moveBound(borrower, +w); err != nil {
+		f.fail(err)
+		return
+	}
+	ev, err := f.eng.AtHandler(l.ExpiresAt, f, fevLeaseExpiry, uint64(l.ID))
+	if err != nil {
+		f.fail(err)
+		return
+	}
+	l.expiry = ev
+	lender.lentW += w
+	borrower.borrowedW += w
+	f.leases = append(f.leases, l)
+	f.active = append(f.active, l)
+	mLeases.Inc()
+	gWattsLent.Add(w)
+}
+
+// expireLease handles a lease's TTL event.
+func (f *Federation) expireLease(l *Lease) {
+	if l.State != LeaseActive {
+		return // already settled; the expiry event lost the race
+	}
+	l.expiry = nil
+	f.settleLease(l, LeaseExpired)
+}
+
+// settleLease ends an active lease with the given terminal state,
+// moving the watts back (borrower first: the federation must never
+// transiently exceed the cap, and lowering before raising keeps the
+// sum constant to the audit).
+func (f *Federation) settleLease(l *Lease, state LeaseState) {
+	if l.State != LeaseActive {
+		return
+	}
+	if l.expiry != nil {
+		l.expiry.Cancel()
+		l.expiry = nil
+	}
+	lender, borrower := f.shards[l.Lender], f.shards[l.Borrower]
+	if err := f.moveBound(borrower, -l.Watts); err != nil {
+		f.fail(err)
+	}
+	if err := f.moveBound(lender, +l.Watts); err != nil {
+		f.fail(err)
+	}
+	lender.lentW -= l.Watts
+	borrower.borrowedW -= l.Watts
+	l.State = state
+	l.SettledAt = f.now
+	for i, a := range f.active {
+		if a == l {
+			f.active = append(f.active[:i], f.active[i+1:]...)
+			break
+		}
+	}
+	switch state {
+	case LeaseExpired:
+		mLeaseExpiries.Inc()
+	case LeaseRecalled:
+		mLeaseRecalls.Inc()
+	case LeaseReleased:
+		mLeaseReleases.Inc()
+	}
+}
+
+// moveBound shifts a shard's effective bound by delta watts through
+// the scheduler's demand-response path, keeping the broker's mirror in
+// sync. The shard is advanced to the shared clock first so the change
+// lands at the federation's current time on the shard's own timeline.
+func (f *Federation) moveBound(sh *Shard, delta float64) error {
+	if err := sh.Online.Advance(f.now); err != nil {
+		return err
+	}
+	sh.eff += delta
+	return sh.Online.SetBound(sh.eff)
+}

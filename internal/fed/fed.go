@@ -1,0 +1,513 @@
+// Package fed federates N independent power-bounded scheduler shards
+// behind one shared virtual clock — the planet-scale layer above
+// jobsched: each shard is a jobsched.Online session over its own
+// cluster, and the Federation always advances whichever shard owns the
+// earliest pending event, so cross-shard causality is deterministic by
+// construction (the ClusterSimulator decomposition: peek every member,
+// step only the earliest).
+//
+// On top of the shared clock the federation runs a cross-shard
+// power-lending broker in the Budget/Reservation/Lease shape: shards
+// publish envelope headroom (free watts beyond a configured reserve),
+// shards with starved queues borrow watts in quanta under an aggregate
+// federation cap, and every loan is a Lease that expires after a TTL,
+// is recalled early when the lender's own queue needs the watts back,
+// or is released early when the borrower no longer needs them. Bound
+// changes land through jobsched's demand-response machinery, so a
+// recall that undercuts a borrower's allocation throttles its running
+// jobs (the excursion-derate safety net) instead of breaking the bound
+// invariant.
+//
+// A routing policy places incoming jobs onto shards (least-loaded,
+// power-headroom or locality); cmd/clipfed drives 16–128 shards from
+// one clock with per-shard and aggregate telemetry.
+package fed
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/faults"
+	"repro/internal/hw"
+	"repro/internal/jobsched"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Telemetry handles of the federation layer.
+var (
+	mFedEvents = telemetry.Default.Counter("clip_fed_events_total",
+		"events processed across all federated shards")
+	mFedJobsRouted = telemetry.Default.Counter("clip_fed_jobs_routed_total",
+		"jobs routed onto a shard by the federation")
+	mLeases = telemetry.Default.Counter("clip_fed_leases_total",
+		"cross-shard power leases granted")
+	mLeaseExpiries = telemetry.Default.Counter("clip_fed_lease_expiries_total",
+		"leases that reached their TTL and returned their watts")
+	mLeaseRecalls = telemetry.Default.Counter("clip_fed_lease_recalls_total",
+		"leases recalled early because the lender's queue needed the watts")
+	mLeaseReleases = telemetry.Default.Counter("clip_fed_lease_releases_total",
+		"leases released early because the borrower no longer needed them")
+	gWattsLent = telemetry.Default.Gauge("clip_fed_watts_lent",
+		"cumulative watts granted across all leases")
+	gWattsOnLoan = telemetry.Default.Gauge("clip_fed_watts_on_loan",
+		"watts currently moved between shards by active leases")
+	gAggBound = telemetry.Default.Gauge("clip_fed_aggregate_bound_watts",
+		"sum of the shards' effective power bounds")
+)
+
+// Per-shard queue-depth gauge handles, cached like the coordinator's
+// node-budget gauges: registering means building a label string and
+// taking the registry lock, so the handles are created once per shard.
+var (
+	shardGaugeMu sync.Mutex
+	shardGaugeQ  []*telemetry.Gauge
+)
+
+// shardQueueGauge returns the cached queue gauge for a shard id.
+func shardQueueGauge(id int) *telemetry.Gauge {
+	shardGaugeMu.Lock()
+	defer shardGaugeMu.Unlock()
+	for len(shardGaugeQ) <= id {
+		n := strconv.Itoa(len(shardGaugeQ))
+		shardGaugeQ = append(shardGaugeQ, telemetry.Default.Gauge(
+			telemetry.Label("clip_fed_shard_queue", "shard", n),
+			"queued jobs on the shard after its most recent event"))
+	}
+	return shardGaugeQ[id]
+}
+
+// fed-level des handler event kinds (the shards' own engines use the
+// jobsched kinds; this engine only carries federation events).
+const (
+	fevArrival uint16 = 1 + iota
+	fevLeaseExpiry
+)
+
+// ShardConfig describes one regional scheduler shard.
+type ShardConfig struct {
+	// Nodes is the shard's cluster size.
+	Nodes int
+	// BudgetW is the shard's nameplate power bound in watts.
+	BudgetW float64
+	// Sigma is the manufacturing-variability sigma of the shard's
+	// cluster.
+	Sigma float64
+	// Seed seeds the shard's hardware variability (distinct seeds give
+	// shards distinct silicon).
+	Seed int64
+	// Policy is the shard's queueing discipline.
+	Policy jobsched.Policy
+	// Reallocate enables POWsched-style power sharing inside the shard.
+	Reallocate bool
+	// Faults optionally injects the shard's fault scenario.
+	Faults *faults.Scenario
+}
+
+// Lending configures the cross-shard power broker. The zero value
+// disables lending.
+type Lending struct {
+	// Enabled turns the broker on.
+	Enabled bool
+	// AggregateCapW caps the sum of effective shard bounds; 0 means the
+	// sum of nameplate budgets. A cap below the nameplate sum scales
+	// every shard's entitlement proportionally (the federation is
+	// itself power-bounded).
+	AggregateCapW float64
+	// ReserveFrac is the envelope headroom a lender keeps for itself:
+	// only free watts beyond ReserveFrac × entitlement are lendable.
+	// Default 0.1.
+	ReserveFrac float64
+	// MinBoundFrac floors a lender's effective bound at MinBoundFrac ×
+	// entitlement. Default 0.5.
+	MinBoundFrac float64
+	// QuantumW is the watts moved per lease. Default 60.
+	QuantumW float64
+	// TTL is a lease's virtual lifetime in seconds. Default 240.
+	TTL float64
+	// MaxBorrowed caps one shard's concurrently held leases. Default 4.
+	MaxBorrowed int
+}
+
+// withDefaults fills the zero-valued knobs.
+func (l Lending) withDefaults() Lending {
+	if l.ReserveFrac <= 0 {
+		l.ReserveFrac = 0.1
+	}
+	if l.MinBoundFrac <= 0 {
+		l.MinBoundFrac = 0.5
+	}
+	if l.QuantumW <= 0 {
+		l.QuantumW = 60
+	}
+	if l.TTL <= 0 {
+		l.TTL = 240
+	}
+	if l.MaxBorrowed <= 0 {
+		l.MaxBorrowed = 4
+	}
+	return l
+}
+
+// Config configures a Federation.
+type Config struct {
+	// Shards lists the member shards (at least one).
+	Shards []ShardConfig
+	// Routing selects the job-placement policy across shards.
+	Routing Policy
+	// Lending configures the cross-shard power broker.
+	Lending Lending
+}
+
+// Shard is one federated scheduler: an Online session over its own
+// cluster, plus the broker's view of its power position.
+type Shard struct {
+	// ID is the shard's index in the federation.
+	ID int
+	// Cluster is the shard's hardware.
+	Cluster *hw.Cluster
+	// Online is the shard's incremental scheduler session.
+	Online *jobsched.Online
+
+	// entitlement is the shard's share of the aggregate cap (nameplate
+	// budget, scaled down when the cap is below the nameplate sum).
+	entitlement float64
+	// eff mirrors the shard's current effective bound (entitlement −
+	// lent + borrowed); the audit cross-checks it against the scheduler.
+	eff float64
+	// lentW / borrowedW are the shard's current outgoing / incoming
+	// active lease watts.
+	lentW, borrowedW float64
+	// submitted counts jobs routed to this shard.
+	submitted int
+}
+
+// fedArrival is one pre-scheduled submission.
+type fedArrival struct {
+	id  string
+	app *workload.Spec
+	key string // locality key (Locality routing)
+}
+
+// Federation drives N shards from one shared clock. Not safe for
+// concurrent use.
+type Federation struct {
+	cfg    Config
+	shards []*Shard
+	// eng holds the federation's own events (arrivals, lease expiries);
+	// shard events live in the shards' engines.
+	eng *des.Engine
+	// now is the shared clock: the timestamp of the last processed
+	// event anywhere in the federation.
+	now float64
+	// arrivals is the arrival arena referenced by fevArrival events.
+	arrivals []fedArrival
+	// jobShard maps a job id to the shard it was routed to.
+	jobShard map[string]int
+	// broker state
+	leases []*Lease // every lease ever granted, by ID
+	active []*Lease // active leases, ascending ID
+	// audit state
+	audits     int
+	violations int
+	failure    error
+	// events counts processed events (shard + federation).
+	events uint64
+}
+
+// New builds a federation of len(cfg.Shards) shards. Shard clusters and
+// CLIP instances are constructed per shard, so distinct seeds give
+// distinct silicon; the aggregate cap (when below the nameplate sum)
+// scales every shard's starting bound proportionally.
+func New(cfg Config) (*Federation, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("fed: no shards configured")
+	}
+	cfg.Lending = cfg.Lending.withDefaults()
+	var nameplate float64
+	for i, sc := range cfg.Shards {
+		if sc.Nodes <= 0 || sc.BudgetW <= 0 {
+			return nil, fmt.Errorf("fed: shard %d: need positive nodes and budget", i)
+		}
+		nameplate += sc.BudgetW
+	}
+	cap := cfg.Lending.AggregateCapW
+	if cap <= 0 || !cfg.Lending.Enabled {
+		cap = nameplate
+	}
+	if cap > nameplate {
+		cap = nameplate
+	}
+	cfg.Lending.AggregateCapW = cap
+	scale := cap / nameplate
+
+	f := &Federation{
+		cfg:      cfg,
+		eng:      des.NewEngine(),
+		jobShard: make(map[string]int),
+	}
+	for i, sc := range cfg.Shards {
+		cl := hw.NewCluster(sc.Nodes, hw.HaswellSpec(), sc.Sigma, sc.Seed)
+		clip, err := core.New(cl)
+		if err != nil {
+			return nil, fmt.Errorf("fed: shard %d: %w", i, err)
+		}
+		ent := sc.BudgetW * scale
+		s, err := jobsched.New(cl, clip, jobsched.Config{
+			Bound: ent, Policy: sc.Policy, Reallocate: sc.Reallocate, Faults: sc.Faults,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fed: shard %d: %w", i, err)
+		}
+		on, err := s.Online()
+		if err != nil {
+			return nil, fmt.Errorf("fed: shard %d: %w", i, err)
+		}
+		f.shards = append(f.shards, &Shard{
+			ID: i, Cluster: cl, Online: on, entitlement: ent, eff: ent,
+		})
+	}
+	return f, nil
+}
+
+// Shards returns the member shards (read-only use).
+func (f *Federation) Shards() []*Shard { return f.shards }
+
+// Now returns the shared virtual clock in seconds.
+func (f *Federation) Now() float64 { return f.now }
+
+// Routing returns the federation's configured routing policy.
+func (f *Federation) Routing() Policy { return f.cfg.Routing }
+
+// Events returns the number of events processed so far.
+func (f *Federation) Events() uint64 { return f.events }
+
+// Err returns the first internal failure (a shard scheduler error or an
+// aggregate-cap audit violation), if any.
+func (f *Federation) Err() error { return f.failure }
+
+// HandleEvent implements des.Handler for the federation's own events.
+func (f *Federation) HandleEvent(kind uint16, arg uint64) {
+	switch kind {
+	case fevArrival:
+		f.routeArrival(f.arrivals[arg])
+	case fevLeaseExpiry:
+		f.expireLease(f.leases[arg])
+	}
+}
+
+// ScheduleArrival pre-schedules a job submission at virtual time t: the
+// job is routed to a shard by the federation's policy when the clock
+// reaches t. Job ids must be unique federation-wide; key is the
+// locality key used by the Locality policy (the job id when empty).
+func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, key string) error {
+	if id == "" {
+		return fmt.Errorf("fed: empty job id")
+	}
+	if app == nil {
+		return fmt.Errorf("fed: job %q has no application", id)
+	}
+	if _, dup := f.jobShard[id]; dup {
+		return fmt.Errorf("fed: duplicate job id %q", id)
+	}
+	f.jobShard[id] = -1 // reserved; set on routing
+	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key})
+	_, err := f.eng.AtHandler(t, f, fevArrival, uint64(len(f.arrivals)-1))
+	return err
+}
+
+// routeArrival places one due arrival onto a shard.
+func (f *Federation) routeArrival(a fedArrival) {
+	sh := f.shards[f.pickShard(a)]
+	if err := sh.Online.Advance(f.eng.Now()); err != nil {
+		f.fail(err)
+		return
+	}
+	if _, err := sh.Online.Submit(a.id, a.app); err != nil {
+		f.fail(err)
+		return
+	}
+	f.jobShard[a.id] = sh.ID
+	sh.submitted++
+	mFedJobsRouted.Inc()
+}
+
+// fail latches the federation's first failure.
+func (f *Federation) fail(err error) {
+	if f.failure == nil {
+		f.failure = err
+	}
+}
+
+// Step processes the single earliest pending event across the whole
+// federation — a shard's scheduler event, an arrival, or a lease
+// expiry — then runs a broker pass and the aggregate-cap audit. It
+// reports whether an event was processed (false means the federation
+// is quiescent: drain or stop).
+func (f *Federation) Step() (bool, error) {
+	if f.failure != nil {
+		return false, f.failure
+	}
+	// The federation's own events win ties, then lower shard ids; any
+	// fixed rule keeps repeat runs byte-identical.
+	best := -1 // -1 = federation engine
+	t, ok := f.eng.Next()
+	for i, sh := range f.shards {
+		st, sok := sh.Online.PeekNextEventTime()
+		if !sok {
+			continue
+		}
+		if !ok || st < t {
+			t, ok, best = st, true, i
+		}
+	}
+	if !ok {
+		return false, nil
+	}
+	if best < 0 {
+		if _, err := f.eng.StepNext(); err != nil {
+			return false, f.latch(err)
+		}
+	} else {
+		sh := f.shards[best]
+		if err := sh.Online.ProcessNextEvent(); err != nil {
+			return false, f.latch(err)
+		}
+		shardQueueGauge(sh.ID).Set(float64(sh.Online.QueueLen()))
+	}
+	f.now = t
+	f.events++
+	mFedEvents.Inc()
+	if f.failure == nil {
+		f.brokerPass()
+	}
+	f.audit()
+	return true, f.failure
+}
+
+// latch records err (or any failure a handler latched) and returns it.
+func (f *Federation) latch(err error) error {
+	f.fail(err)
+	return f.failure
+}
+
+// Run processes events until the federation is quiescent (all arrivals
+// routed, all shard queues empty or blocked forever, no pending lease
+// expiries), then drains every shard.
+func (f *Federation) Run() error {
+	for {
+		ok, err := f.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+	}
+	return f.Drain()
+}
+
+// Drain ends the run: every active lease is recalled (shards return to
+// their entitlements, so queued work drains under the bounds it was
+// admitted for), then each shard drains its resident and queued jobs in
+// virtual time. After Drain every submitted job is terminal.
+func (f *Federation) Drain() error {
+	for _, l := range append([]*Lease(nil), f.active...) {
+		f.settleLease(l, LeaseRecalled)
+	}
+	f.audit()
+	for _, sh := range f.shards {
+		if err := sh.Online.Drain(); err != nil {
+			return f.latch(err)
+		}
+		shardQueueGauge(sh.ID).Set(float64(sh.Online.QueueLen()))
+	}
+	return f.failure
+}
+
+// JobShard reports which shard a job was routed to (-1 while its
+// arrival is still pending) and whether the id is known.
+func (f *Federation) JobShard(id string) (int, bool) {
+	s, ok := f.jobShard[id]
+	return s, ok
+}
+
+// Status returns a routed job's status from its shard.
+func (f *Federation) Status(id string) (jobsched.JobStatus, error) {
+	s, ok := f.jobShard[id]
+	if !ok || s < 0 {
+		return jobsched.JobStatus{}, fmt.Errorf("fed: job %q not routed", id)
+	}
+	return f.shards[s].Online.Status(id)
+}
+
+// Jobs lists every routed job's status ordered by id.
+func (f *Federation) Jobs() []jobsched.JobStatus {
+	ids := make([]string, 0, len(f.jobShard))
+	for id, s := range f.jobShard {
+		if s >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	out := make([]jobsched.JobStatus, 0, len(ids))
+	for _, id := range ids {
+		js, err := f.shards[f.jobShard[id]].Online.Status(id)
+		if err == nil {
+			out = append(out, js)
+		}
+	}
+	return out
+}
+
+// AuditStats reports how many per-event aggregate audits ran and how
+// many found a violation (always zero unless Err is set).
+func (f *Federation) AuditStats() (audits, violations int) {
+	return f.audits, f.violations
+}
+
+// audit asserts the federation's power invariants at the current event
+// boundary: the sum of effective shard bounds never exceeds the
+// aggregate cap, every shard's scheduler agrees with the broker's
+// mirror of its bound, and lease accounting balances (Σ lent = Σ
+// borrowed = Σ active lease watts).
+func (f *Federation) audit() {
+	f.audits++
+	const eps = 1e-6
+	var sum, lent, borrowed float64
+	for _, sh := range f.shards {
+		b := sh.Online.Bound()
+		if b != sh.eff {
+			f.violation(fmt.Sprintf("shard %d bound %.9f drifted from broker mirror %.9f", sh.ID, b, sh.eff))
+		}
+		sum += b
+		lent += sh.lentW
+		borrowed += sh.borrowedW
+	}
+	if sum > f.cfg.Lending.AggregateCapW+eps {
+		f.violation(fmt.Sprintf("aggregate bound %.9f exceeds cap %.9f", sum, f.cfg.Lending.AggregateCapW))
+	}
+	var onLoan float64
+	for _, l := range f.active {
+		onLoan += l.Watts
+	}
+	if diff := lent - onLoan; diff > eps || diff < -eps {
+		f.violation(fmt.Sprintf("lent watts %.9f != active lease watts %.9f", lent, onLoan))
+	}
+	if diff := borrowed - onLoan; diff > eps || diff < -eps {
+		f.violation(fmt.Sprintf("borrowed watts %.9f != active lease watts %.9f", borrowed, onLoan))
+	}
+	gAggBound.Set(sum)
+	gWattsOnLoan.Set(onLoan)
+}
+
+// violation records one audit failure and latches it as the
+// federation's failure.
+func (f *Federation) violation(msg string) {
+	f.violations++
+	f.fail(fmt.Errorf("fed: audit: %s", msg))
+}

@@ -1,0 +1,91 @@
+package fed
+
+// Routing policies: where an arriving job lands. All three are pure
+// functions of deterministic shard state, so routing never breaks the
+// federation's repeat-run byte-identity.
+
+import "hash/fnv"
+
+// Policy selects the federation's job-routing policy.
+type Policy int
+
+// Routing policies.
+const (
+	// LeastLoaded routes to the shard with the fewest queued jobs
+	// (ties: fewest running, then lowest id). Best default for
+	// throughput under a balanced workload.
+	LeastLoaded Policy = iota
+	// PowerHeadroom routes to the shard with the most free watts
+	// (ties: lowest id). Prefers shards that can place the job
+	// immediately at full budget; good for power-hungry jobs.
+	PowerHeadroom
+	// Locality hashes the job's locality key onto a fixed shard, so
+	// related jobs land together (dataset affinity) at the cost of
+	// balance.
+	Locality
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PowerHeadroom:
+		return "power-headroom"
+	case Locality:
+		return "locality"
+	default:
+		return "least-loaded"
+	}
+}
+
+// ParsePolicy maps a policy name (as accepted by clipfed's -routing
+// flag) to its Policy.
+func ParsePolicy(name string) (Policy, bool) {
+	switch name {
+	case "least-loaded":
+		return LeastLoaded, true
+	case "power-headroom":
+		return PowerHeadroom, true
+	case "locality":
+		return Locality, true
+	}
+	return 0, false
+}
+
+// ShardFor returns the shard index the Locality policy maps a key to
+// among n shards. Exported so tests and partition-aware clients can
+// pre-compute a job's home shard.
+func ShardFor(key string, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// pickShard applies the configured routing policy to one arrival.
+func (f *Federation) pickShard(a fedArrival) int {
+	switch f.cfg.Routing {
+	case PowerHeadroom:
+		best, bestW := 0, f.shards[0].Online.FreeWatts()
+		for _, sh := range f.shards[1:] {
+			if w := sh.Online.FreeWatts(); w > bestW {
+				best, bestW = sh.ID, w
+			}
+		}
+		return best
+	case Locality:
+		key := a.key
+		if key == "" {
+			key = a.id
+		}
+		return ShardFor(key, len(f.shards))
+	default: // LeastLoaded
+		best := 0
+		bq, br := f.shards[0].Online.QueueLen(), f.shards[0].Online.RunningLen()
+		for _, sh := range f.shards[1:] {
+			q, r := sh.Online.QueueLen(), sh.Online.RunningLen()
+			if q < bq || (q == bq && r < br) {
+				best, bq, br = sh.ID, q, r
+			}
+		}
+		return best
+	}
+}

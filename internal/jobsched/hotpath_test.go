@@ -41,8 +41,10 @@ func TestRunDoesNotMutateCallerJobs(t *testing.T) {
 
 // TestRunSteadyStateAllocs: once the pooled state, dispatch cache and
 // scratch buffers are warm, a full schedule of N jobs may allocate only
-// per-job result material (terminal snapshots, stats growth) — a small
-// constant per job, not the seed's ~295 allocations per job.
+// the escaping result object and its amortised slice growth — a
+// sub-linear total, not a per-job cost (terminal snapshots intern
+// their node ids in the stats arena, and the telemetry ring recycles
+// its per-node budget buffers).
 func TestRunSteadyStateAllocs(t *testing.T) {
 	s := sched(t, Config{Bound: 2000, Policy: Backfill, Reallocate: true})
 	apps := []*workload.Spec{workload.CoMD(), workload.LUMZ(), workload.SPMZ(), workload.AMG()}
@@ -60,7 +62,7 @@ func TestRunSteadyStateAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if max := 3 * float64(len(list)); avg > max {
+	if max := 20 + float64(len(list))/8; avg > max {
 		t.Errorf("steady-state Run of %d jobs allocates %.0f objects, want <= %.0f",
 			len(list), avg, max)
 	}

@@ -192,6 +192,21 @@ type Stats struct {
 	// any event timestamp; the bound invariant keeps it at or below the
 	// bound or the run fails.
 	PeakAllocW float64
+	// idArena backs the NodeIDs slices of terminal snapshots: one
+	// growable block owned by the run's Stats instead of one allocation
+	// per finished job. Growth reallocations leave earlier snapshots
+	// pointing at the retired block, which stays valid — nothing
+	// mutates a terminal snapshot.
+	idArena []int
+}
+
+// internNodeIDs copies ids into the stats-owned arena and returns the
+// capped sub-slice, so a terminal snapshot owns stable node ids without
+// a per-job allocation.
+func (s *Stats) internNodeIDs(ids []int) []int {
+	n := len(s.idArena)
+	s.idArena = append(s.idArena, ids...)
+	return s.idArena[n : n+len(ids) : n+len(ids)]
 }
 
 // Scheduler places jobs on a power-bounded cluster.
@@ -867,8 +882,9 @@ func (st *schedState) finish(rj *runningJob) {
 	jr := rj.result
 	if jr.NodeIDs != nil {
 		// The in-flight result aliases the record's reusable node
-		// buffer; terminal snapshots own their copy.
-		jr.NodeIDs = append([]int(nil), jr.NodeIDs...)
+		// buffer; terminal snapshots own their copy (interned in the
+		// stats arena — no per-job allocation).
+		jr.NodeIDs = st.stats.internNodeIDs(jr.NodeIDs)
 	}
 	st.stats.Jobs = append(st.stats.Jobs, jr)
 	if st.hooks.onFinish != nil {

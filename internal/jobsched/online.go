@@ -198,6 +198,67 @@ func (o *Online) Next() (float64, bool) { return o.st.eng.Next() }
 // any.
 func (o *Online) Err() error { return o.st.failure }
 
+// HasPendingEvents reports whether any event is scheduled on the
+// session's virtual timeline. With fault streams stopped (or absent)
+// and no resident work, it eventually returns false.
+func (o *Online) HasPendingEvents() bool {
+	_, ok := o.st.eng.Next()
+	return ok
+}
+
+// PeekNextEventTime returns the virtual timestamp of the earliest
+// pending event without firing it. Together with HasPendingEvents and
+// ProcessNextEvent it decomposes the run loop into the step primitives
+// a shared-clock orchestrator needs: peek every member, advance only
+// the one owning the earliest event.
+func (o *Online) PeekNextEventTime() (float64, bool) { return o.st.eng.Next() }
+
+// ProcessNextEvent fires exactly the earliest pending event and moves
+// the session clock to its timestamp. It is a no-op when no event is
+// pending.
+func (o *Online) ProcessNextEvent() error {
+	if _, err := o.st.eng.StepNext(); err != nil {
+		return err
+	}
+	return o.st.failure
+}
+
+// SetBound changes the cluster power bound at the current virtual time,
+// with full demand-response semantics (Config.BoundSchedule applied
+// online): surplus is offered to the queue and, under Reallocate, to
+// running jobs; a deficit throttles running jobs proportionally until
+// the allocation fits (the excursion-derate machinery is the safety
+// net). Events already due fire first so the change lands on a settled
+// state.
+func (o *Online) SetBound(watts float64) error {
+	if watts <= 0 {
+		return fmt.Errorf("jobsched: non-positive bound %.1f", watts)
+	}
+	if o.st.failure != nil {
+		return o.st.failure
+	}
+	if err := o.st.eng.RunUntil(o.st.eng.Now(), 0); err != nil {
+		return err
+	}
+	o.st.applyBoundChange(watts)
+	return o.st.failure
+}
+
+// Bound returns the session's current cluster power bound in watts.
+func (o *Online) Bound() float64 { return o.st.bound }
+
+// FreeWatts returns the currently unallocated power in watts.
+func (o *Online) FreeWatts() float64 { return o.st.freeW }
+
+// QueueLen returns the number of jobs waiting for nodes or power.
+func (o *Online) QueueLen() int { return o.st.qlive }
+
+// RunningLen returns the number of jobs currently placed.
+func (o *Online) RunningLen() int { return len(o.st.running) }
+
+// FreeNodes returns the number of unoccupied, non-quarantined nodes.
+func (o *Online) FreeNodes() int { return len(o.st.free) }
+
 // Advance fires every event due at or before virtual time t (in order)
 // and moves the clock there; t must be at or after Now.
 func (o *Online) Advance(t float64) error {

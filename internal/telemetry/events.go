@@ -100,6 +100,26 @@ type EventLog struct {
 	buf   []Event // ring storage, len(buf) <= cap
 	start int     // index of the oldest event when the ring is full
 	total uint64  // events ever appended
+	// spare recycles the PerNode backings of evicted entries: events
+	// with and without budgets interleave in the ring, so the slot an
+	// append evicts rarely carries a buffer of its own to reuse.
+	spare [][]NodeBudget
+}
+
+// maxSparePerNode bounds the recycled-buffer stack; beyond it evicted
+// backings are simply dropped for the GC.
+const maxSparePerNode = 64
+
+// copyPerNode copies src into a recycled (or fresh) log-owned buffer;
+// callers must hold l.mu.
+func (l *EventLog) copyPerNode(src []NodeBudget) []NodeBudget {
+	var dst []NodeBudget
+	if n := len(l.spare); n > 0 {
+		dst = l.spare[n-1]
+		l.spare[n-1] = nil
+		l.spare = l.spare[:n-1]
+	}
+	return append(dst, src...)
 }
 
 // SetCapacity resizes the ring (minimum 1), keeping the newest events.
@@ -119,7 +139,10 @@ func (l *EventLog) SetCapacity(n int) {
 }
 
 // Append adds an event, stamping its Seq, evicting the oldest entry
-// when the ring is full.
+// when the ring is full. The ring owns the stored event's PerNode
+// slice: the incoming one is copied into a buffer recycled from the
+// evicted entry, so callers may pass a scratch slice they reuse and a
+// wrapped ring appends per-node events without allocating.
 func (l *EventLog) Append(e Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -128,9 +151,15 @@ func (l *EventLog) Append(e Event) {
 	}
 	l.total++
 	e.Seq = l.total
+	if e.PerNode != nil {
+		e.PerNode = l.copyPerNode(e.PerNode)
+	}
 	if len(l.buf) < l.cap {
 		l.buf = append(l.buf, e)
 		return
+	}
+	if evicted := l.buf[l.start].PerNode; evicted != nil && len(l.spare) < maxSparePerNode {
+		l.spare = append(l.spare, evicted[:0])
 	}
 	l.buf[l.start] = e
 	l.start = (l.start + 1) % len(l.buf)
@@ -144,10 +173,17 @@ func (l *EventLog) Snapshot() []Event {
 }
 
 // snapshotLocked copies the ring in order; callers must hold l.mu.
+// PerNode slices are deep-copied: the ring recycles their backing
+// arrays into future appends, so a snapshot must own its budgets.
 func (l *EventLog) snapshotLocked() []Event {
 	out := make([]Event, 0, len(l.buf))
 	out = append(out, l.buf[l.start:]...)
 	out = append(out, l.buf[:l.start]...)
+	for i := range out {
+		if out[i].PerNode != nil {
+			out[i].PerNode = append([]NodeBudget(nil), out[i].PerNode...)
+		}
+	}
 	return out
 }
 
@@ -172,4 +208,5 @@ func (l *EventLog) reset() {
 	l.buf = nil
 	l.start = 0
 	l.total = 0
+	l.spare = nil
 }

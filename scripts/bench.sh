@@ -82,6 +82,13 @@ grep '^clipload ' "$TMP/clipload50k_full.txt" \
 kill -TERM "$CLIPD_PID"
 wait "$CLIPD_PID" || { echo "clipd (50k) exited non-zero after drain" >&2; exit 1; }
 
+echo "== clipfed federation throughput, 64 shards ==" >&2
+go build -o "$TMP/clipfed" ./cmd/clipfed
+"$TMP/clipfed" -shards 64 -nodes 4 -budget 400 -jobs 512 -gap 1 \
+    -routing locality -seed 1 > /dev/null 2> "$TMP/clipfed_full.txt"
+cat "$TMP/clipfed_full.txt" >&2
+grep '^clipfed shards=' "$TMP/clipfed_full.txt" > "$TMP/clipfed.txt"
+
 awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
 /^Benchmark/ {
     name = $1
@@ -126,6 +133,16 @@ awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
         l50body = l50body sprintf("%s\"%s\": %s", l50body == "" ? "" : ", ", k, v)
     }
 }
+/^clipfed / {
+    # "clipfed k=v k=v ..." -> the 64-shard federation throughput row
+    fbody = ""
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        k = substr($(i), 1, eq - 1)
+        v = substr($(i), eq + 1)
+        fbody = fbody sprintf("%s\"%s\": %s", fbody == "" ? "" : ", ", k, v)
+    }
+}
 END {
     printf "{\n  \"benchmarks\": {\n"
     for (i = 1; i <= n; i++) {
@@ -141,9 +158,10 @@ END {
     printf "  },\n"
     printf "  \"clipload\": {%s},\n", lbody
     printf "  \"clipload_batch_50k\": {%s},\n", l50body
+    printf "  \"clipfed\": {%s},\n", fbody
     printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
     printf "}\n"
-}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" "$TMP/clipload50k.txt" > "$OUT"
+}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" "$TMP/clipload50k.txt" "$TMP/clipfed.txt" > "$OUT"
 
 echo "wrote $OUT" >&2
 cat "$OUT"
