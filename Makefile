@@ -26,6 +26,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 ./internal/jobsched/... ./internal/server/...
+	$(GO) test -race -count=2 ./internal/fed/...
 	$(GO) test -run=NONE -bench=. -benchtime=1x .
 	./scripts/bench_compare.sh
 	$(GO) run ./cmd/clipsim -app sp-mz.C -budget 1200 \

@@ -9,12 +9,17 @@
 //	clipfed -shards 64 -routing power-headroom
 //	clipfed -shards 32 -agg-cap 12000 -lease-ttl 120   # capped federation
 //	clipfed -shards 4 -lend=false -routing locality    # isolated shards
+//	clipfed -shards 64 -jobs 4096 -gap 0.25 -routing locality \
+//	        -lend=false -workers 4                     # parallel executor
 //
 // The run is fully deterministic: the same flags always produce
 // byte-identical stdout (the per-shard table, lease ledger summary and
 // invariant verdicts), which scripts/fed_smoke.sh exploits to
-// byte-compare repeat runs. Wall-clock timing goes to stderr so it
-// never perturbs the comparison. With -telemetry-out a JSON telemetry
+// byte-compare repeat runs. -workers N runs shard events on a bounded
+// worker pool inside conservative safe windows (see
+// internal/fed/parallel.go); stdout is byte-identical for any worker
+// count, so the flag is purely a throughput knob. Wall-clock timing
+// goes to stderr so it never perturbs the comparison. With -telemetry-out a JSON telemetry
 // report (clip_fed_* counters, per-shard queue gauges) is written
 // after the run.
 package main
@@ -44,6 +49,7 @@ func main() {
 	jobs := flag.Int("jobs", 256, "jobs in the synthetic arrival trace")
 	meanGap := flag.Float64("gap", 4, "mean virtual seconds between arrivals")
 	seed := flag.Uint64("seed", 1, "arrival-trace seed")
+	workers := flag.Int("workers", 1, "parallel federation workers (1 = serial; 0 = GOMAXPROCS); output is byte-identical for any value")
 	lend := flag.Bool("lend", true, "enable the cross-shard power-lending broker")
 	aggCap := flag.Float64("agg-cap", 0, "aggregate federation cap in watts (0 = sum of shard budgets)")
 	leaseTTL := flag.Float64("lease-ttl", 240, "lease lifetime in virtual seconds")
@@ -53,7 +59,7 @@ func main() {
 
 	if err := run(os.Stdout, *shards, *nodes, *budget, *sigma, *policyName,
 		*routingName, *jobs, *meanGap, *seed, *lend, *aggCap, *leaseTTL,
-		*quantum, *teleOut); err != nil {
+		*quantum, *workers, *teleOut); err != nil {
 		fmt.Fprintln(os.Stderr, "clipfed:", err)
 		os.Exit(1)
 	}
@@ -61,9 +67,12 @@ func main() {
 
 func run(w io.Writer, shards, nodes int, budget, sigma float64, policyName,
 	routingName string, jobs int, meanGap float64, seed uint64, lend bool,
-	aggCap, leaseTTL, quantum float64, teleOut string) error {
+	aggCap, leaseTTL, quantum float64, workers int, teleOut string) error {
 	if shards < 1 || shards > 1024 {
 		return fmt.Errorf("-shards must be in 1..1024, got %d", shards)
+	}
+	if workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", workers)
 	}
 	policy, err := parsePolicy(policyName)
 	if err != nil {
@@ -102,17 +111,22 @@ func run(w io.Writer, shards, nodes int, budget, sigma float64, policyName,
 	}
 
 	start := time.Now()
-	runErr := f.Run()
+	var runErr error
+	if workers == 1 {
+		runErr = f.Run()
+	} else {
+		runErr = f.RunParallel(workers)
+	}
 	wall := time.Since(start)
 
 	report(w, f, shards, lend)
 	// Wall-clock throughput is nondeterministic; keep it off stdout so
 	// repeat runs stay byte-identical. The second line is the
 	// machine-readable row scripts/bench.sh lifts into BENCH_results.json.
-	fmt.Fprintf(os.Stderr, "clipfed: %d events, %d jobs in %.1f ms wall (%.0f events/s)\n",
-		f.Events(), jobs, wall.Seconds()*1e3, float64(f.Events())/wall.Seconds())
-	fmt.Fprintf(os.Stderr, "clipfed shards=%d jobs=%d events=%d leases=%d wall_ms=%.1f events_per_s=%.0f jobs_per_s=%.0f\n",
-		shards, jobs, f.Events(), len(f.Leases()), wall.Seconds()*1e3,
+	fmt.Fprintf(os.Stderr, "clipfed: %d events, %d jobs in %.1f ms wall (%.0f events/s, %d workers)\n",
+		f.Events(), jobs, wall.Seconds()*1e3, float64(f.Events())/wall.Seconds(), workers)
+	fmt.Fprintf(os.Stderr, "clipfed shards=%d jobs=%d workers=%d events=%d leases=%d wall_ms=%.1f events_per_s=%.0f jobs_per_s=%.0f\n",
+		shards, jobs, workers, f.Events(), len(f.Leases()), wall.Seconds()*1e3,
 		float64(f.Events())/wall.Seconds(), float64(jobs)/wall.Seconds())
 	if teleOut != "" {
 		if werr := telemetry.Default.WriteReportFile(teleOut); werr != nil {

@@ -393,6 +393,42 @@ func (e *Engine) RunUntil(t float64, maxSteps int) error {
 	return nil
 }
 
+// RunBefore fires every pending event with timestamp strictly before t
+// (in order) and reports how many fired. Unlike RunUntil it neither
+// fires events at exactly t nor advances the clock past the last fired
+// event, so it is the window primitive of conservative parallel
+// orchestration: a layer that has proven no interaction can occur
+// before barrier time t advances each member engine through its
+// pre-barrier events in isolation, and the member's clock afterwards
+// reads exactly as if the events had been interleaved globally.
+// t may be +Inf (drain every pending event); maxSteps bounds the events
+// fired by this call (0 = default 50 million).
+func (e *Engine) RunBefore(t float64, maxSteps int) (int, error) {
+	if math.IsNaN(t) {
+		return 0, fmt.Errorf("des: invalid RunBefore time %g", t)
+	}
+	if maxSteps <= 0 {
+		maxSteps = 50_000_000
+	}
+	startSteps, startComp := e.Steps, e.compactions
+	defer func() {
+		mEvents.Add(uint64(e.Steps - startSteps))
+		mCompactions.Add(uint64(e.compactions - startComp))
+		gQueuePeak.SetMax(float64(e.maxDepth))
+	}()
+	budget := e.Steps + maxSteps
+	for {
+		next, ok := e.Next()
+		if !ok || next >= t {
+			break
+		}
+		if err := e.step(budget); err != nil {
+			return e.Steps - startSteps, err
+		}
+	}
+	return e.Steps - startSteps, nil
+}
+
 // step fires the earliest live event. Callers must have established via
 // Next that one exists.
 func (e *Engine) step(maxSteps int) error {

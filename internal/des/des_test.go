@@ -614,3 +614,57 @@ func TestRunUntilStepBudget(t *testing.T) {
 		t.Fatal("runaway cascade not caught by the step budget")
 	}
 }
+
+func TestEngineRunBefore(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i, tm := range []float64{1, 2, 3, 3, 5} {
+		i := i
+		if _, err := e.At(tm, func() { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strictly before: the two events at exactly t=3 must not fire.
+	n, err := e.RunBefore(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("RunBefore(3) fired %d events, want 2", n)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Errorf("fired %v, want [0 1]", order)
+	}
+	// The clock stays at the last fired event, not the barrier.
+	if e.Now() != 2 {
+		t.Errorf("clock %v after RunBefore(3), want 2", e.Now())
+	}
+	// +Inf drains everything that is left.
+	n, err = e.RunBefore(math.Inf(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(order) != 5 {
+		t.Errorf("RunBefore(+Inf) fired %d (total %d), want 3 (5)", n, len(order))
+	}
+	if e.Now() != 5 {
+		t.Errorf("clock %v after drain, want 5", e.Now())
+	}
+	// Nothing pending: zero events, no error, clock untouched.
+	if n, err = e.RunBefore(100, 0); err != nil || n != 0 {
+		t.Errorf("idle RunBefore = (%d, %v), want (0, nil)", n, err)
+	}
+	if _, err := e.RunBefore(math.NaN(), 0); err == nil {
+		t.Error("RunBefore accepted NaN")
+	}
+	// maxSteps bounds the events fired by one call.
+	e2 := NewEngine()
+	for i := 0; i < 10; i++ {
+		if _, err := e2.At(float64(i+1), func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := e2.RunBefore(math.Inf(1), 3); err == nil {
+		t.Error("RunBefore ignored maxSteps")
+	}
+}

@@ -253,6 +253,7 @@ func (f *Federation) settleLease(l *Lease, state LeaseState) {
 // sync. The shard is advanced to the shared clock first so the change
 // lands at the federation's current time on the shard's own timeline.
 func (f *Federation) moveBound(sh *Shard, delta float64) error {
+	f.touch(sh)
 	if err := sh.Online.Advance(f.now); err != nil {
 		return err
 	}

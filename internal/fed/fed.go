@@ -190,7 +190,8 @@ type Shard struct {
 type fedArrival struct {
 	id  string
 	app *workload.Spec
-	key string // locality key (Locality routing)
+	key string  // locality key (Locality routing)
+	t   float64 // scheduled arrival time (partitioned replay)
 }
 
 // Federation drives N shards from one shared clock. Not safe for
@@ -217,6 +218,26 @@ type Federation struct {
 	failure    error
 	// events counts processed events (shard + federation).
 	events uint64
+
+	// heap indexes shard next-event times (built lazily on the first
+	// step); touched/touchedMark collect the shards whose timelines
+	// moved since the last re-key, so only those are re-peeked.
+	heap        *shardHeap
+	touched     []int
+	touchedMark []bool
+	// anyFaults records whether any shard injects faults: fault streams
+	// can grow a queue mid-window, so the parallel executor falls back
+	// to serial stepping for the whole run.
+	anyFaults bool
+	// winShards / winRes are the parallel executor's per-window scratch
+	// (participant ids, per-shard results merged at the barrier).
+	winShards []int
+	winRes    []windowResult
+	// collecting / collect implement the partitioned executor's arrival
+	// drain: while collecting is set, fevArrival events append their
+	// arrival here (in engine pop order) instead of routing it.
+	collecting bool
+	collect    []fedArrival
 }
 
 // New builds a federation of len(cfg.Shards) shards. Shard clusters and
@@ -249,6 +270,11 @@ func New(cfg Config) (*Federation, error) {
 		cfg:      cfg,
 		eng:      des.NewEngine(),
 		jobShard: make(map[string]int),
+	}
+	for _, sc := range cfg.Shards {
+		if sc.Faults != nil {
+			f.anyFaults = true
+		}
 	}
 	for i, sc := range cfg.Shards {
 		cl := hw.NewCluster(sc.Nodes, hw.HaswellSpec(), sc.Sigma, sc.Seed)
@@ -294,6 +320,10 @@ func (f *Federation) Err() error { return f.failure }
 func (f *Federation) HandleEvent(kind uint16, arg uint64) {
 	switch kind {
 	case fevArrival:
+		if f.collecting {
+			f.collect = append(f.collect, f.arrivals[arg])
+			return
+		}
 		f.routeArrival(f.arrivals[arg])
 	case fevLeaseExpiry:
 		f.expireLease(f.leases[arg])
@@ -315,7 +345,7 @@ func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, k
 		return fmt.Errorf("fed: duplicate job id %q", id)
 	}
 	f.jobShard[id] = -1 // reserved; set on routing
-	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key})
+	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key, t: t})
 	_, err := f.eng.AtHandler(t, f, fevArrival, uint64(len(f.arrivals)-1))
 	return err
 }
@@ -323,6 +353,7 @@ func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, k
 // routeArrival places one due arrival onto a shard.
 func (f *Federation) routeArrival(a fedArrival) {
 	sh := f.shards[f.pickShard(a)]
+	f.touch(sh)
 	if err := sh.Online.Advance(f.eng.Now()); err != nil {
 		f.fail(err)
 		return
@@ -334,6 +365,47 @@ func (f *Federation) routeArrival(a fedArrival) {
 	f.jobShard[a.id] = sh.ID
 	sh.submitted++
 	mFedJobsRouted.Inc()
+}
+
+// ensureHeap builds the shard next-event index on the first step. The
+// federation owns its shards' timelines from then on: every operation
+// that can move a shard's earliest event marks the shard touched, and
+// rekeyTouched re-peeks exactly those before the next decision.
+func (f *Federation) ensureHeap() {
+	if f.heap != nil {
+		return
+	}
+	f.heap = newShardHeap(len(f.shards))
+	f.touchedMark = make([]bool, len(f.shards))
+	f.winRes = make([]windowResult, len(f.shards))
+	for _, sh := range f.shards {
+		f.rekeyShard(sh.ID)
+	}
+}
+
+// touch marks a shard whose timeline may have moved (an event fired,
+// a job was routed to it, its bound changed) for lazy re-key.
+func (f *Federation) touch(sh *Shard) {
+	if f.heap == nil || f.touchedMark[sh.ID] {
+		return
+	}
+	f.touchedMark[sh.ID] = true
+	f.touched = append(f.touched, sh.ID)
+}
+
+// rekeyShard re-peeks one shard's earliest event into the heap.
+func (f *Federation) rekeyShard(id int) {
+	t, ok := f.shards[id].Online.PeekNextEventTime()
+	f.heap.update(id, t, ok)
+}
+
+// rekeyTouched re-keys every shard touched since the last call.
+func (f *Federation) rekeyTouched() {
+	for _, id := range f.touched {
+		f.touchedMark[id] = false
+		f.rekeyShard(id)
+	}
+	f.touched = f.touched[:0]
 }
 
 // fail latches the federation's first failure.
@@ -352,29 +424,25 @@ func (f *Federation) Step() (bool, error) {
 	if f.failure != nil {
 		return false, f.failure
 	}
-	// The federation's own events win ties, then lower shard ids; any
-	// fixed rule keeps repeat runs byte-identical.
-	best := -1 // -1 = federation engine
+	f.ensureHeap()
+	// The federation's own events win ties, then lower shard ids (the
+	// heap's ordering); any fixed rule keeps repeat runs byte-identical.
 	t, ok := f.eng.Next()
-	for i, sh := range f.shards {
-		st, sok := sh.Online.PeekNextEventTime()
-		if !sok {
-			continue
-		}
-		if !ok || st < t {
-			t, ok, best = st, true, i
-		}
-	}
-	if !ok {
+	sid, st, sok := f.heap.min()
+	if !ok && !sok {
 		return false, nil
 	}
-	if best < 0 {
+	if ok && (!sok || t <= st) {
 		if _, err := f.eng.StepNext(); err != nil {
+			f.rekeyTouched()
 			return false, f.latch(err)
 		}
 	} else {
-		sh := f.shards[best]
+		t = st
+		sh := f.shards[sid]
+		f.touch(sh)
 		if err := sh.Online.ProcessNextEvent(); err != nil {
+			f.rekeyTouched()
 			return false, f.latch(err)
 		}
 		shardQueueGauge(sh.ID).Set(float64(sh.Online.QueueLen()))
@@ -386,6 +454,7 @@ func (f *Federation) Step() (bool, error) {
 		f.brokerPass()
 	}
 	f.audit()
+	f.rekeyTouched()
 	return true, f.failure
 }
 
@@ -419,12 +488,16 @@ func (f *Federation) Drain() error {
 	for _, l := range append([]*Lease(nil), f.active...) {
 		f.settleLease(l, LeaseRecalled)
 	}
+	f.rekeyTouched()
 	f.audit()
 	for _, sh := range f.shards {
 		if err := sh.Online.Drain(); err != nil {
 			return f.latch(err)
 		}
 		shardQueueGauge(sh.ID).Set(float64(sh.Online.QueueLen()))
+		if f.heap != nil {
+			f.rekeyShard(sh.ID)
+		}
 	}
 	return f.failure
 }
@@ -477,6 +550,15 @@ func (f *Federation) AuditStats() (audits, violations int) {
 // borrowed = Σ active lease watts).
 func (f *Federation) audit() {
 	f.audits++
+	f.auditCheck()
+}
+
+// auditCheck performs the audit's invariant checks without counting an
+// audit. The parallel executor calls it once per window after crediting
+// f.audits with the window's event count: inside a safe window no bound
+// or lease can change, so the serial run's per-event audits and one
+// physical check at the barrier see exactly the same state.
+func (f *Federation) auditCheck() {
 	const eps = 1e-6
 	var sum, lent, borrowed float64
 	for _, sh := range f.shards {

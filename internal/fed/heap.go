@@ -1,0 +1,135 @@
+package fed
+
+// shardHeap indexes the shards' next-event times so the federation's
+// run loop finds the earliest shard in O(log n) instead of scanning all
+// of them per step (the O(shards) scan PR 7 shipped with). Entries are
+// re-keyed lazily: the federation marks shards whose timelines it
+// touched (stepped, routed to, bound-shifted) and re-peeks only those
+// at the next decision point. The same index serves the parallel
+// executor, whose window collection walks the heap's backing array to
+// find every shard with work before the barrier.
+//
+// Ordering matches the serial scan's tie-break exactly: earlier time
+// first, then lower shard id.
+
+// shardHeap is an indexed binary min-heap of shard next-event times.
+type shardHeap struct {
+	ids   []int     // heap slot -> shard id
+	times []float64 // heap slot -> next-event time
+	pos   []int     // shard id -> heap slot, -1 when absent
+}
+
+// newShardHeap returns an empty heap sized for n shards.
+func newShardHeap(n int) *shardHeap {
+	h := &shardHeap{pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+// less orders heap slots by (time, shard id).
+func (h *shardHeap) less(i, j int) bool {
+	if h.times[i] != h.times[j] {
+		return h.times[i] < h.times[j]
+	}
+	return h.ids[i] < h.ids[j]
+}
+
+// swap exchanges two heap slots, keeping the position index current.
+func (h *shardHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.times[i], h.times[j] = h.times[j], h.times[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+// up restores the heap property from slot i towards the root.
+func (h *shardHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down restores the heap property from slot i towards the leaves.
+func (h *shardHeap) down(i int) {
+	n := len(h.ids)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// update re-keys shard id to next-event time t; ok=false removes the
+// shard (no pending events). Inserting, moving and removing are all the
+// same call, so the federation re-keys a touched shard without caring
+// whether it was in the heap before.
+func (h *shardHeap) update(id int, t float64, ok bool) {
+	i := h.pos[id]
+	if !ok {
+		if i < 0 {
+			return
+		}
+		last := len(h.ids) - 1
+		h.swap(i, last)
+		h.ids = h.ids[:last]
+		h.times = h.times[:last]
+		h.pos[id] = -1
+		if i < last {
+			h.down(i)
+			h.up(i)
+		}
+		return
+	}
+	if i < 0 {
+		h.ids = append(h.ids, id)
+		h.times = append(h.times, t)
+		i = len(h.ids) - 1
+		h.pos[id] = i
+		h.up(i)
+		return
+	}
+	h.times[i] = t
+	h.down(i)
+	h.up(i)
+}
+
+// min returns the shard owning the earliest pending event.
+func (h *shardHeap) min() (id int, t float64, ok bool) {
+	if len(h.ids) == 0 {
+		return 0, 0, false
+	}
+	return h.ids[0], h.times[0], true
+}
+
+// size reports how many shards currently have pending events.
+func (h *shardHeap) size() int { return len(h.ids) }
+
+// collectBefore appends to dst every shard id with a pending event
+// strictly before t (the parallel executor's window membership), in
+// unspecified order; callers sort. Walking the backing array is O(n)
+// but runs once per window, not per event.
+func (h *shardHeap) collectBefore(dst []int, t float64) []int {
+	for i, id := range h.ids {
+		if h.times[i] < t {
+			dst = append(dst, id)
+		}
+	}
+	return dst
+}

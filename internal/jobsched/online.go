@@ -223,6 +223,23 @@ func (o *Online) ProcessNextEvent() error {
 	return o.st.failure
 }
 
+// ProcessEventsUntil fires every pending event with timestamp strictly
+// before virtual time t (in order) and reports how many fired. The
+// clock stops on the last fired event rather than advancing to t, so
+// the session afterwards is indistinguishable from one whose events
+// were processed one at a time by an external orchestrator — the
+// window-bounded run primitive of the parallel federation executor:
+// once the federation has proven no cross-shard interaction can occur
+// before barrier time t, every shard advances through its pre-barrier
+// events concurrently via this call. t may be +Inf (run to quiescence).
+func (o *Online) ProcessEventsUntil(t float64) (int, error) {
+	n, err := o.st.eng.RunBefore(t, 0)
+	if err != nil {
+		return n, err
+	}
+	return n, o.st.failure
+}
+
 // SetBound changes the cluster power bound at the current virtual time,
 // with full demand-response semantics (Config.BoundSchedule applied
 // online): surplus is offered to the queue and, under Reallocate, to

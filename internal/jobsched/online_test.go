@@ -362,3 +362,45 @@ func TestOnlineCancelRetryingJob(t *testing.T) {
 		t.Errorf("pending = %d", o.Pending())
 	}
 }
+
+// TestOnlineProcessEventsUntil: the window primitive fires events
+// strictly before the barrier and leaves the clock on the last fired
+// event, so a conservative parallel layer can advance the session in
+// isolation without observing the barrier time itself.
+func TestOnlineProcessEventsUntil(t *testing.T) {
+	o := online(t, Config{Bound: 2000})
+	js, err := o.Submit("j1", workload.CoMD())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Barrier exactly at the completion: strictly-before must not fire it.
+	n, err := o.ProcessEventsUntil(js.EstFinish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("barrier at the event time fired %d events, want 0", n)
+	}
+	if got, _ := o.Status("j1"); got.State != JobRunning {
+		t.Errorf("job %v before the barrier, want running", got.State)
+	}
+	// Barrier past the completion fires it; the clock lands on the
+	// event, not the barrier.
+	n, err = o.ProcessEventsUntil(js.EstFinish + 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("fired %d events, want 1", n)
+	}
+	if got, _ := o.Status("j1"); got.State != JobCompleted {
+		t.Errorf("job %v after the window, want completed", got.State)
+	}
+	if o.Now() != js.EstFinish {
+		t.Errorf("clock %v after window, want %v (the event, not the barrier)", o.Now(), js.EstFinish)
+	}
+	// +Inf drains a quiescent session without error.
+	if n, err = o.ProcessEventsUntil(math.Inf(1)); err != nil || n != 0 {
+		t.Errorf("idle window = (%d, %v), want (0, nil)", n, err)
+	}
+}

@@ -1,0 +1,307 @@
+package server
+
+// Allocation-free JSON encoding for the serving path. GET /v1/jobs and
+// GET /v1/cluster are the endpoints dashboards poll in a loop, and the
+// generic encoding/json path allocates per response: the intermediate
+// []JobJSON / ClusterJSON structs, the encoder state, and the reflect-
+// driven marshal buffers. The encoders here append the same bytes —
+// field order, omitempty semantics, HTML escaping, float formatting and
+// the trailing newline all match json.NewEncoder(w).Encode exactly,
+// which encode_test.go enforces property-style — into a pooled buffer
+// that is written once and recycled.
+//
+// Non-finite floats cannot be marshalled by encoding/json (it returns
+// an error and writes nothing); the append encoder flags them and the
+// handlers fall back to the generic path so behaviour stays identical.
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+
+	"repro/internal/jobsched"
+)
+
+// maxPooledBuf bounds recycled encode buffers: a one-off giant response
+// should not pin its buffer in the pool forever.
+const maxPooledBuf = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// htmlSafe marks the ASCII bytes encoding/json emits verbatim inside a
+// string when HTML escaping is on (the Encoder default): printable,
+// minus the JSON metacharacters and the HTML-sensitive three.
+var htmlSafe = func() (s [utf8.RuneSelf]bool) {
+	for c := 0x20; c < utf8.RuneSelf; c++ {
+		s[c] = c != '"' && c != '\\' && c != '<' && c != '>' && c != '&'
+	}
+	return
+}()
+
+const hexDigits = "0123456789abcdef"
+
+// enc is one in-flight append encode; bad is set when a value the
+// generic encoder would reject (a non-finite float) shows up.
+type enc struct {
+	b   []byte
+	bad bool
+}
+
+// appendString appends s quoted and escaped exactly as encoding/json
+// does with HTML escaping on: \", \\, \n, \r, \t, \u00XX for other
+// control bytes, </>/& for <, >, &, \ufffd for invalid
+// UTF-8 bytes and \u2028 / \u2029 for the JS line separators.
+func (e *enc) appendString(s string) {
+	e.b = append(e.b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if htmlSafe[c] {
+				i++
+				continue
+			}
+			e.b = append(e.b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				e.b = append(e.b, '\\', c)
+			case '\n':
+				e.b = append(e.b, '\\', 'n')
+			case '\r':
+				e.b = append(e.b, '\\', 'r')
+			case '\t':
+				e.b = append(e.b, '\\', 't')
+			default:
+				e.b = append(e.b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			e.b = append(e.b, s[start:i]...)
+			e.b = append(e.b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			e.b = append(e.b, s[start:i]...)
+			e.b = append(e.b, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	e.b = append(e.b, s[start:]...)
+	e.b = append(e.b, '"')
+}
+
+// appendFloat appends f in encoding/json's format: 'f' notation except
+// for magnitudes below 1e-6 or at least 1e21, which use 'e' with the
+// exponent's leading zero trimmed.
+func (e *enc) appendFloat(f float64) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		e.bad = true
+		e.b = append(e.b, '0')
+		return
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	e.b = strconv.AppendFloat(e.b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(e.b); n >= 4 && e.b[n-4] == 'e' && e.b[n-3] == '-' && e.b[n-2] == '0' {
+			e.b[n-2] = e.b[n-1]
+			e.b = e.b[:n-1]
+		}
+	}
+}
+
+// appendInt appends i in base 10.
+func (e *enc) appendInt(i int) {
+	e.b = strconv.AppendInt(e.b, int64(i), 10)
+}
+
+// field starts one "name": entry, prefixing a comma unless it opens the
+// object (the caller appends '{' immediately before the first field).
+func (e *enc) field(name string) {
+	if e.b[len(e.b)-1] != '{' {
+		e.b = append(e.b, ',')
+	}
+	e.b = append(e.b, '"')
+	e.b = append(e.b, name...)
+	e.b = append(e.b, '"', ':')
+}
+
+// appendJob appends one job status in JobJSON's wire form, matching
+// jobJSON + encoding/json field for field (omitempty drops zero
+// values).
+func (e *enc) appendJob(js *jobsched.JobStatus) {
+	e.b = append(e.b, '{')
+	e.field("id")
+	e.appendString(js.ID)
+	e.field("state")
+	e.appendString(js.State.String())
+	e.field("arrival_s")
+	e.appendFloat(js.Arrival)
+	if js.Start != 0 {
+		e.field("start_s")
+		e.appendFloat(js.Start)
+	}
+	if js.Finish != 0 {
+		e.field("finish_s")
+		e.appendFloat(js.Finish)
+	}
+	if js.QueuePos != 0 {
+		e.field("queue_pos")
+		e.appendInt(js.QueuePos)
+	}
+	if len(js.Nodes) != 0 {
+		e.field("nodes")
+		e.b = append(e.b, '[')
+		for i, n := range js.Nodes {
+			if i > 0 {
+				e.b = append(e.b, ',')
+			}
+			e.appendInt(n)
+		}
+		e.b = append(e.b, ']')
+	}
+	if js.Cores != 0 {
+		e.field("cores")
+		e.appendInt(js.Cores)
+	}
+	if js.PerNodeW != 0 {
+		e.field("per_node_watts")
+		e.appendFloat(js.PerNodeW)
+	}
+	if js.EstFinish != 0 {
+		e.field("est_finish_s")
+		e.appendFloat(js.EstFinish)
+	}
+	if js.Retries != 0 {
+		e.field("retries")
+		e.appendInt(js.Retries)
+	}
+	if js.ReclaimedW != 0 {
+		e.field("reclaimed_watts")
+		e.appendFloat(js.ReclaimedW)
+	}
+	if js.Reason != "" {
+		e.field("reason")
+		e.appendString(js.Reason)
+	}
+	e.b = append(e.b, '}')
+}
+
+// appendJobList appends the GET /v1/jobs body: a JSON array of job
+// statuses plus the Encoder's trailing newline.
+func (e *enc) appendJobList(list []jobsched.JobStatus) {
+	e.b = append(e.b, '[')
+	for i := range list {
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.appendJob(&list[i])
+	}
+	e.b = append(e.b, ']', '\n')
+}
+
+// appendCluster appends the GET /v1/cluster body in ClusterJSON's wire
+// form plus the Encoder's trailing newline. The nodes array has no
+// omitempty, matching the always-non-nil slice clusterJSON builds.
+func (e *enc) appendCluster(cs *jobsched.ClusterState, draining bool) {
+	e.b = append(e.b, '{')
+	e.field("now_s")
+	e.appendFloat(cs.Now)
+	e.field("bound_watts")
+	e.appendFloat(cs.BoundW)
+	e.field("free_watts")
+	e.appendFloat(cs.FreeW)
+	e.field("allocated_watts")
+	e.appendFloat(cs.AllocW)
+	e.field("reserved_watts")
+	e.appendFloat(cs.ReservedW)
+	e.field("queued")
+	e.appendInt(cs.Queued)
+	e.field("running")
+	e.appendInt(cs.Running)
+	if draining {
+		e.field("draining")
+		e.b = append(e.b, 't', 'r', 'u', 'e')
+	}
+	e.field("nodes")
+	e.b = append(e.b, '[')
+	for i := range cs.Nodes {
+		n := &cs.Nodes[i]
+		if i > 0 {
+			e.b = append(e.b, ',')
+		}
+		e.b = append(e.b, '{')
+		e.field("id")
+		e.appendInt(n.ID)
+		e.field("health")
+		e.appendString(n.Health)
+		if n.Derated {
+			e.field("derated")
+			e.b = append(e.b, 't', 'r', 'u', 'e')
+		}
+		if n.Job != "" {
+			e.field("job")
+			e.appendString(n.Job)
+		}
+		e.b = append(e.b, '}')
+	}
+	e.b = append(e.b, ']', '}', '\n')
+}
+
+// writeBuf sends one completed encode and recycles its buffer.
+func writeBuf(w http.ResponseWriter, code int, bp *[]byte, b []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_, _ = w.Write(b)
+	if cap(b) <= maxPooledBuf {
+		*bp = b[:0]
+		encPool.Put(bp)
+	}
+}
+
+// writeJobList renders GET /v1/jobs through the append encoder,
+// falling back to the generic path when a value cannot be marshalled.
+func writeJobList(w http.ResponseWriter, code int, list []jobsched.JobStatus) {
+	bp := encPool.Get().(*[]byte)
+	e := enc{b: (*bp)[:0]}
+	e.appendJobList(list)
+	if e.bad {
+		*bp = e.b[:0]
+		encPool.Put(bp)
+		out := make([]JobJSON, len(list))
+		for i, js := range list {
+			out[i] = jobJSON(js)
+		}
+		writeJSON(w, code, out)
+		return
+	}
+	writeBuf(w, code, bp, e.b)
+}
+
+// writeCluster renders GET /v1/cluster through the append encoder,
+// falling back to the generic path when a value cannot be marshalled.
+func writeCluster(w http.ResponseWriter, code int, cs jobsched.ClusterState, draining bool) {
+	bp := encPool.Get().(*[]byte)
+	e := enc{b: (*bp)[:0]}
+	e.appendCluster(&cs, draining)
+	if e.bad {
+		*bp = e.b[:0]
+		encPool.Put(bp)
+		writeJSON(w, code, clusterJSON(cs, draining))
+		return
+	}
+	writeBuf(w, code, bp, e.b)
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/jobsched"
+	"repro/internal/rng"
+)
+
+// encodeGeneric is the reference: exactly what writeJSON sends.
+func encodeGeneric(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// nastyStrings covers every escaping class the append encoder handles.
+var nastyStrings = []string{
+	"", "plain", "with space", `quote"back\slash`,
+	"html<danger>&amp", "ctrl\x00\x01\x1f", "tabs\tnl\ncr\r",
+	"utf8 😀 ünïcödé", "bad\xffutf8\xc3(", "line sep ",
+	"trailing\\", "日本語",
+}
+
+// nastyFloats covers both float formats and the exponent trim.
+var nastyFloats = []float64{
+	0, 1, -1, 123.456, 1e-6, 9.9e-7, 1e-7, -1e-7, 1e21, 1.5e22, -2e21,
+	0.1, 1.0 / 3.0, 42424242.42, 5e-321, math.MaxFloat64 / 8,
+}
+
+// jobCases builds a spread of JobStatus values: every omitempty field
+// zero and non-zero, nasty strings in id/reason, nasty floats in the
+// time fields.
+func jobCases() []jobsched.JobStatus {
+	var out []jobsched.JobStatus
+	out = append(out, jobsched.JobStatus{}) // everything omitted
+	for i, s := range nastyStrings {
+		f := nastyFloats[i%len(nastyFloats)]
+		out = append(out, jobsched.JobStatus{
+			ID: s, State: jobsched.JobState(i % 5), Arrival: f,
+			Start: f * 2, Finish: f * 3, Reason: s,
+		})
+	}
+	for i, f := range nastyFloats {
+		js := jobsched.JobStatus{
+			ID: fmt.Sprintf("job-%d", i), State: jobsched.JobRunning,
+			Arrival: f, PerNodeW: f, EstFinish: f, ReclaimedW: f,
+		}
+		if i%2 == 0 {
+			js.Nodes = []int{0, i, -i, 1 << i}
+			js.Cores = i
+			js.QueuePos = -i
+			js.Retries = i * 7
+		}
+		if i%3 == 0 {
+			js.Nodes = []int{} // len 0 must omit like nil
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// TestAppendJobListMatchesGeneric: the append encoder's bytes equal
+// json.NewEncoder's for single jobs, the full list, and the empty list.
+func TestAppendJobListMatchesGeneric(t *testing.T) {
+	cases := jobCases()
+	for i, js := range cases {
+		var e enc
+		e.appendJobList([]jobsched.JobStatus{js})
+		want := encodeGeneric(t, []JobJSON{jobJSON(js)})
+		if !bytes.Equal(e.b, want) {
+			t.Errorf("case %d diverged:\n append: %q\ngeneric: %q", i, e.b, want)
+		}
+	}
+	var e enc
+	e.appendJobList(cases)
+	all := make([]JobJSON, len(cases))
+	for i, js := range cases {
+		all[i] = jobJSON(js)
+	}
+	if want := encodeGeneric(t, all); !bytes.Equal(e.b, want) {
+		t.Errorf("full list diverged:\n append: %q\ngeneric: %q", e.b, want)
+	}
+	e = enc{}
+	e.appendJobList(nil)
+	if want := encodeGeneric(t, []JobJSON{}); !bytes.Equal(e.b, want) {
+		t.Errorf("empty list diverged: %q vs %q", e.b, want)
+	}
+}
+
+// TestAppendClusterMatchesGeneric: same equivalence for the cluster
+// snapshot, across draining, derated, empty-node and nasty-value cases.
+func TestAppendClusterMatchesGeneric(t *testing.T) {
+	cases := []struct {
+		cs       jobsched.ClusterState
+		draining bool
+	}{
+		{jobsched.ClusterState{Nodes: []jobsched.NodeState{}}, false},
+		{jobsched.ClusterState{
+			Now: 12.5, BoundW: 400, FreeW: 1e-7, AllocW: 399.9999999,
+			ReservedW: 2e21, Queued: 3, Running: 2,
+			Nodes: []jobsched.NodeState{
+				{ID: 0, Health: "healthy", Job: "j<1>&2"},
+				{ID: 1, Health: "quarantined", Derated: true},
+				{ID: 2, Health: "drained", Job: "x\ty"},
+			},
+		}, true},
+	}
+	for i, f := range nastyFloats {
+		cases = append(cases, struct {
+			cs       jobsched.ClusterState
+			draining bool
+		}{jobsched.ClusterState{
+			Now: f, BoundW: -f, FreeW: f / 3, AllocW: f * 2, ReservedW: f,
+			Queued: i, Running: -i,
+			Nodes: []jobsched.NodeState{{ID: i, Health: nastyStrings[i%len(nastyStrings)]}},
+		}, i%2 == 0})
+	}
+	for i, c := range cases {
+		var e enc
+		e.appendCluster(&c.cs, c.draining)
+		want := encodeGeneric(t, clusterJSON(c.cs, c.draining))
+		if !bytes.Equal(e.b, want) {
+			t.Errorf("case %d diverged:\n append: %q\ngeneric: %q", i, e.b, want)
+		}
+	}
+}
+
+// TestAppendFloatMatchesGeneric sweeps random and structured floats
+// through both encoders.
+func TestAppendFloatMatchesGeneric(t *testing.T) {
+	r := rng.New(42)
+	check := func(f float64) {
+		t.Helper()
+		var e enc
+		e.appendFloat(f)
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(e.b, want) {
+			t.Errorf("float %g: append %q, generic %q", f, e.b, want)
+		}
+	}
+	for _, f := range nastyFloats {
+		check(f)
+		check(-f)
+	}
+	for i := 0; i < 2000; i++ {
+		m := r.Range(-1, 1)
+		e := r.Intn(600) - 300
+		if f := m * math.Pow(10, float64(e)); !math.IsInf(f, 0) {
+			check(f)
+		}
+	}
+}
+
+// TestAppendNonFiniteFallsBack: NaN/Inf flag the encode as bad, so the
+// handlers fall back to the generic (erroring) path instead of emitting
+// bytes encoding/json would refuse.
+func TestAppendNonFiniteFallsBack(t *testing.T) {
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		var e enc
+		e.appendJobList([]jobsched.JobStatus{{ID: "x", Arrival: f}})
+		if !e.bad {
+			t.Errorf("non-finite %v not flagged", f)
+		}
+	}
+}
+
+// nullWriter is a header-reusing ResponseWriter for allocation counts.
+type nullWriter struct{ h http.Header }
+
+func (n *nullWriter) Header() http.Header         { return n.h }
+func (n *nullWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (n *nullWriter) WriteHeader(int)             {}
+
+// TestServeEncodeAllocs: the steady-state append encode of both serving
+// endpoints is allocation-free — the buffer comes from the pool and the
+// appends never outgrow it after warm-up. The full writeJobList path is
+// allowed the header map's Set allocation and nothing else.
+func TestServeEncodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; alloc counts only hold without -race")
+	}
+	list := jobCases()
+	cs := jobsched.ClusterState{
+		Now: 10, BoundW: 400, FreeW: 20, AllocW: 380, Queued: 1, Running: 3,
+		Nodes: []jobsched.NodeState{
+			{ID: 0, Health: "healthy", Job: "a"},
+			{ID: 1, Health: "healthy", Derated: true},
+		},
+	}
+	buf := make([]byte, 0, 1<<16)
+	if n := testing.AllocsPerRun(200, func() {
+		e := enc{b: buf[:0]}
+		e.appendJobList(list)
+		e = enc{b: buf[:0]}
+		e.appendCluster(&cs, true)
+	}); n != 0 {
+		t.Errorf("append encode allocates %.1f times per run, want 0", n)
+	}
+	w := &nullWriter{h: http.Header{}}
+	if n := testing.AllocsPerRun(200, func() {
+		writeJobList(w, http.StatusOK, list)
+		writeCluster(w, http.StatusOK, cs, false)
+	}); n > 2 {
+		t.Errorf("serving path allocates %.1f times per run, want <= 2 (header sets)", n)
+	}
+}

@@ -278,11 +278,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	out := make([]JobJSON, len(list))
-	for i, js := range list {
-		out[i] = jobJSON(js)
-	}
-	writeJSON(w, http.StatusOK, out)
+	writeJobList(w, http.StatusOK, list)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -315,7 +311,7 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, clusterJSON(cs, s.draining.Load()))
+	writeCluster(w, http.StatusOK, cs, s.draining.Load())
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -77,3 +77,63 @@ END {
     if (bad) print "bench_compare: regenerate the baseline with make bench if this change is intentional"
     exit bad
 }' "$TMP/bench.txt"
+
+# Federation throughput gate: re-run the clipfed_parallel workload and
+# compare best-of-5 events/s per worker count against the baseline's
+# clipfed_parallel rows (identified by their 4096-job trace). Wall-clock
+# throughput on a shared box is noisy in one direction only — load adds
+# time — so the per-worker maximum is the honest estimate, mirroring
+# the ns/op minimum above.
+go build -o "$TMP/clipfed" ./cmd/clipfed
+PFLAGS="-shards 64 -nodes 4 -budget 400 -jobs 4096 -gap 0.25 -routing locality -seed 1 -lend=false"
+: > "$TMP/fed.txt"
+for W in 1 2 4; do
+    i=0
+    while [ "$i" -lt 5 ]; do
+        "$TMP/clipfed" $PFLAGS -workers "$W" > /dev/null 2> "$TMP/cfp.txt"
+        grep '^clipfed shards=' "$TMP/cfp.txt" >> "$TMP/fed.txt"
+        i=$((i + 1))
+    done
+done
+
+awk -v base="$BASE" '
+BEGIN {
+    # Baseline parallel rows: one {...} per line inside the
+    # clipfed_parallel array, keyed by worker count.
+    while ((getline line < base) > 0) {
+        if (line !~ /"jobs": 4096/ || line !~ /"workers":/) continue
+        if (!match(line, /"workers": [0-9]+/)) continue
+        w = substr(line, RSTART + 11, RLENGTH - 11)
+        if (match(line, /"events_per_s": [0-9.e+]+/))
+            beps[w] = substr(line, RSTART + 16, RLENGTH - 16) + 0
+    }
+}
+/^clipfed shards=/ {
+    w = ""; eps = 0
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        if (substr($(i), 1, eq - 1) == "workers") w = substr($(i), eq + 1)
+        if (substr($(i), 1, eq - 1) == "events_per_s") eps = substr($(i), eq + 1) + 0
+    }
+    if (w != "" && (!(w in meps) || eps > meps[w])) meps[w] = eps
+    if (!(w in seen)) { seen[w] = ++n; order[n] = w }
+}
+END {
+    for (i = 1; i <= n; i++) {
+        w = order[i]
+        if (!(w in beps)) {
+            printf "bench_compare: clipfed_parallel workers=%s not in baseline, skipping\n", w
+            continue
+        }
+        checked++
+        if (meps[w] < beps[w] * 0.80) {
+            printf "bench_compare: FAIL clipfed_parallel workers=%s events/s %.0f, baseline %.0f (-20%% limit)\n", w, meps[w], beps[w]
+            bad = 1
+        } else {
+            printf "bench_compare: ok   clipfed_parallel workers=%s events/s %.0f (baseline %.0f)\n", w, meps[w], beps[w]
+        }
+    }
+    if (checked == 0) print "bench_compare: no clipfed_parallel baseline rows (regenerate with make bench)"
+    if (bad) print "bench_compare: regenerate the baseline with make bench if this change is intentional"
+    exit bad
+}' "$TMP/fed.txt"

@@ -41,4 +41,13 @@ cmp -s "$TMP/run1.out" "$TMP/run2.out" || {
     exit 1
 }
 
-echo "fed smoke: ok (16 shards, lending active, deterministic, zero jobs lost)"
+# The parallel executor must reproduce the serial run byte for byte —
+# same jobs, leases and audit verdict — with lending active.
+"$TMP/clipfed" $FLAGS -workers 4 > "$TMP/run4.out" 2>/dev/null
+cmp -s "$TMP/run1.out" "$TMP/run4.out" || {
+    echo "fed smoke: parallel run (-workers 4) diverged from serial" >&2
+    diff "$TMP/run1.out" "$TMP/run4.out" >&2 || true
+    exit 1
+}
+
+echo "fed smoke: ok (16 shards, lending active, deterministic, parallel-identical, zero jobs lost)"
