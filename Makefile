@@ -34,6 +34,7 @@ check:
 		| grep -q "bound-invariant: ok"
 	./scripts/clipd_smoke.sh
 	./scripts/fed_smoke.sh
+	./scripts/fed_chaos_smoke.sh
 	$(MAKE) docs
 
 docs:

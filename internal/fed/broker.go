@@ -7,11 +7,27 @@ package fed
 //	active ──TTL reached──────────────▶ expired
 //	active ──lender queue non-empty───▶ recalled
 //	active ──borrower no longer needs─▶ released
+//	active ──endpoint unreachable─────▶ orphaned ──reclaim──▶ reclaimed
 //
-// and all three terminal transitions move the watts back through
+// and all terminal transitions move the watts back through
 // jobsched.Online.SetBound, so a borrower that is still holding jobs
 // on borrowed power is throttled by the demand-response machinery
 // (shed/derate) rather than ever violating its bound invariant.
+//
+// Orphan reclaim protocol (shard-fault runs only): when a shard crashes
+// or partitions, every active lease it touches is orphaned — removed
+// from the broker's working set with its watts left exactly where they
+// are, so the sum of bounds is unchanged and Σ bounds ≤ cap holds
+// through the outage (the lender's watts stay conservatively reserved
+// on the borrower's side). After GraceTTL the broker probes the lease:
+// a probe succeeds when both endpoints are reachable again (the lease
+// settles, watts move borrower→lender as usual); a failed probe
+// reschedules with capped exponential backoff until RecallRetries
+// probes have failed, at which point the broker force-reclaims — the
+// facility's hardware capping cuts the unreachable borrower's envelope
+// out-of-band, so the watts move even though the negotiation link is
+// dead. A shard finishing its rejoin settles its remaining orphans
+// immediately, so it re-enters routing with a clean bound.
 
 import "fmt"
 
@@ -30,6 +46,14 @@ const (
 	// LeaseReleased: the borrower returned the watts early (queue
 	// drained with the lease's watts free).
 	LeaseReleased
+	// LeaseOrphaned: an endpoint shard became unreachable (down or
+	// partitioned); the watts are frozen in place while the reclaim
+	// protocol runs. Not terminal.
+	LeaseOrphaned
+	// LeaseReclaimed: the orphan reclaim settled — by a successful
+	// recall probe, the shard's rejoin, or a forced reclaim after the
+	// probe budget ran out — and the watts went back.
+	LeaseReclaimed
 )
 
 // String implements fmt.Stringer.
@@ -43,6 +67,10 @@ func (s LeaseState) String() string {
 		return "recalled"
 	case LeaseReleased:
 		return "released"
+	case LeaseOrphaned:
+		return "orphaned"
+	case LeaseReclaimed:
+		return "reclaimed"
 	default:
 		return fmt.Sprintf("LeaseState(%d)", int(s))
 	}
@@ -61,8 +89,18 @@ type Lease struct {
 	GrantedAt, ExpiresAt, SettledAt float64
 	// State is the lease's current lifecycle phase.
 	State LeaseState
+	// OrphanedAt is when the lease entered the orphan reclaim protocol
+	// (zero for leases that never orphaned).
+	OrphanedAt float64
+	// Attempts counts the recall probes fired against the orphan.
+	Attempts int
+	// Forced records that the reclaim was forced (probe budget
+	// exhausted, or settled by Drain) rather than answered by a
+	// recovered shard.
+	Forced bool
 
 	expiry interface{ Cancel() } // pending fed-engine expiry event
+	recall interface{ Cancel() } // pending fed-engine recall probe
 }
 
 // Leases returns every lease ever granted, by grant order. The slice
@@ -119,6 +157,9 @@ func (f *Federation) releasePass() {
 func (f *Federation) grantPass() {
 	cfg := f.cfg.Lending
 	for _, b := range f.shards {
+		if !f.routable(b.ID) {
+			continue // broker link down or entitlement not re-earned
+		}
 		if b.Online.QueueLen() == 0 || b.Online.FreeNodes() == 0 {
 			continue // no demand, or watts would not help (no nodes)
 		}
@@ -151,7 +192,7 @@ func (f *Federation) pickLender(borrower int) *Shard {
 	var best *Shard
 	var bestHead float64
 	for _, sh := range f.shards {
-		if sh.ID == borrower || sh.Online.QueueLen() > 0 {
+		if sh.ID == borrower || sh.Online.QueueLen() > 0 || !f.routable(sh.ID) {
 			continue
 		}
 		// Envelope headroom: free watts beyond the reserve, capped so
@@ -259,4 +300,122 @@ func (f *Federation) moveBound(sh *Shard, delta float64) error {
 	}
 	sh.eff += delta
 	return sh.Online.SetBound(sh.eff)
+}
+
+// OrphanedLeases returns the leases currently in the orphan reclaim
+// protocol, ascending ID.
+func (f *Federation) OrphanedLeases() []*Lease { return f.orphans }
+
+// orphanShardLeases moves every active lease touching shard into the
+// orphan reclaim protocol. The watts do not move: freezing the lease in
+// place keeps the sum of bounds constant, so the cap invariant holds
+// through the outage, and the lender's watts stay conservatively
+// reserved on the borrower's side until the reclaim settles.
+func (f *Federation) orphanShardLeases(shard int) {
+	for i := 0; i < len(f.active); {
+		l := f.active[i]
+		if l.Lender != shard && l.Borrower != shard {
+			i++
+			continue
+		}
+		if l.expiry != nil {
+			l.expiry.Cancel()
+			l.expiry = nil
+		}
+		l.State = LeaseOrphaned
+		l.OrphanedAt = f.now
+		f.active = append(f.active[:i], f.active[i+1:]...)
+		f.orphans = append(f.orphans, l)
+		mLeasesOrphaned.Inc()
+		ev, err := f.eng.AtHandler(f.now+f.sfaults.sc.GraceTTL, f, fevLeaseRecall, uint64(l.ID))
+		if err != nil {
+			f.fail(err)
+			return
+		}
+		l.recall = ev
+	}
+}
+
+// recallProbe handles one recall probe against an orphaned lease: the
+// probe succeeds when both endpoints are reachable again, fails onto
+// the backoff schedule otherwise, and force-reclaims once the probe
+// budget is spent.
+func (f *Federation) recallProbe(l *Lease) {
+	if l.State != LeaseOrphaned {
+		return // settled by a rejoin or by Drain; the probe lost the race
+	}
+	l.recall = nil
+	l.Attempts++
+	if f.sfaults.reachable(l.Lender) && f.sfaults.reachable(l.Borrower) {
+		f.settleOrphan(l, false)
+		return
+	}
+	if l.Attempts > f.sfaults.sc.RecallRetries || f.sfaults.sc.RecallRetries < 0 {
+		f.settleOrphan(l, true)
+		return
+	}
+	dt := f.sfaults.recallBackoff(l.ID, l.Attempts)
+	ev, err := f.eng.AtHandler(f.now+dt, f, fevLeaseRecall, uint64(l.ID))
+	if err != nil {
+		f.fail(err)
+		return
+	}
+	l.recall = ev
+}
+
+// settleOrphan ends an orphaned lease: the watts finally move back
+// (borrower first, exactly like settleLease, so the sum of bounds never
+// transiently exceeds the cap). forced marks reclaims the broker
+// imposed without the shard answering (probe budget exhausted, Drain).
+func (f *Federation) settleOrphan(l *Lease, forced bool) {
+	if l.State != LeaseOrphaned {
+		return
+	}
+	if l.recall != nil {
+		l.recall.Cancel()
+		l.recall = nil
+	}
+	lender, borrower := f.shards[l.Lender], f.shards[l.Borrower]
+	if err := f.moveBound(borrower, -l.Watts); err != nil {
+		f.fail(err)
+	}
+	if err := f.moveBound(lender, +l.Watts); err != nil {
+		f.fail(err)
+	}
+	lender.lentW -= l.Watts
+	borrower.borrowedW -= l.Watts
+	l.State = LeaseReclaimed
+	l.SettledAt = f.now
+	l.Forced = forced
+	for i, o := range f.orphans {
+		if o == l {
+			f.orphans = append(f.orphans[:i], f.orphans[i+1:]...)
+			break
+		}
+	}
+	mLeaseReclaims.Inc()
+}
+
+// settleShardOrphans settles every orphan touching shard whose other
+// endpoint is reachable — the rejoin/heal path: the returning shard
+// answers all its pending recalls at once, so it re-enters with a clean
+// bound. Orphans whose other endpoint is also unreachable stay in the
+// protocol (that endpoint's own recovery or probe budget ends them).
+func (f *Federation) settleShardOrphans(shard int) {
+	for i := 0; i < len(f.orphans); {
+		l := f.orphans[i]
+		if l.Lender != shard && l.Borrower != shard {
+			i++
+			continue
+		}
+		other := l.Lender
+		if other == shard {
+			other = l.Borrower
+		}
+		if !f.sfaults.reachable(other) {
+			i++
+			continue
+		}
+		f.settleOrphan(l, false) // removes f.orphans[i]
+	}
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/des"
@@ -58,6 +59,18 @@ var (
 		"watts currently moved between shards by active leases")
 	gAggBound = telemetry.Default.Gauge("clip_fed_aggregate_bound_watts",
 		"sum of the shards' effective power bounds")
+	mShardDowns = telemetry.Default.Counter("clip_fed_shard_down_total",
+		"whole-shard crashes injected by the shard-fault stream")
+	mShardPartitions = telemetry.Default.Counter("clip_fed_shard_partitions_total",
+		"broker-link partitions injected by the shard-fault stream")
+	mLeasesOrphaned = telemetry.Default.Counter("clip_fed_leases_orphaned_total",
+		"leases orphaned because an endpoint shard became unreachable")
+	mLeaseReclaims = telemetry.Default.Counter("clip_fed_lease_reclaims_total",
+		"orphaned leases settled by the reclaim protocol")
+	mJobsEvacuated = telemetry.Default.Counter("clip_fed_jobs_evacuated_total",
+		"queued jobs migrated off a crashed shard onto survivors")
+	gShardsUnhealthy = telemetry.Default.Gauge("clip_fed_shards_unhealthy",
+		"shards currently partitioned, down or rejoining")
 )
 
 // Per-shard queue-depth gauge handles, cached like the coordinator's
@@ -86,6 +99,18 @@ func shardQueueGauge(id int) *telemetry.Gauge {
 const (
 	fevArrival uint16 = 1 + iota
 	fevLeaseExpiry
+	// Shard-fault stream events (arg = shard id). They are
+	// federation-owned interaction points: the parallel executor's
+	// windows always end strictly before the next one, so health
+	// transitions, evacuations and orphan settlements only ever happen
+	// in the serial regime — in both Run and RunParallel.
+	fevShardCrash
+	fevShardRecover
+	fevShardRejoin
+	fevShardPartition
+	fevShardHeal
+	// fevLeaseRecall is an orphan reclaim probe (arg = lease id).
+	fevLeaseRecall
 )
 
 // ShardConfig describes one regional scheduler shard.
@@ -161,6 +186,11 @@ type Config struct {
 	Routing Policy
 	// Lending configures the cross-shard power broker.
 	Lending Lending
+	// ShardFaults optionally arms the deterministic shard-level fault
+	// stream (crashes, broker-link partitions, timed recoveries). Nil
+	// or a scenario with no active class leaves the federation
+	// failure-free.
+	ShardFaults *ShardScenario
 }
 
 // Shard is one federated scheduler: an Online session over its own
@@ -210,12 +240,29 @@ type Federation struct {
 	// jobShard maps a job id to the shard it was routed to.
 	jobShard map[string]int
 	// broker state
-	leases []*Lease // every lease ever granted, by ID
-	active []*Lease // active leases, ascending ID
+	leases  []*Lease // every lease ever granted, by ID
+	active  []*Lease // active leases, ascending ID
+	orphans []*Lease // leases in the orphan reclaim protocol, by orphan order
+	// shard-fault state
+	sfaults *shardInjector // nil when no shard-fault stream is armed
+	// pendingCrash / pendingPartition track each shard's next scheduled
+	// crash / partition-start so the stream generators can be cancelled
+	// when the last job turns terminal (in-flight recover/rejoin/heal
+	// events always fire, so a run ends on a finite event set).
+	pendingCrash     []*des.Event
+	pendingPartition []*des.Event
+	sfStopped        bool
+	arrivalsLeft     int // scheduled arrivals not yet routed
+	evacuated        int // queued jobs migrated off crashed shards
 	// audit state
-	audits     int
-	violations int
-	failure    error
+	audits       int
+	violations   int
+	violationLog []AuditViolation
+	failure      error
+	// interrupted asks Run/RunParallel to stop stepping and drain; it is
+	// the only federation state safe to touch from another goroutine
+	// (cmd/clipfed's signal handler).
+	interrupted atomic.Bool
 	// events counts processed events (shard + federation).
 	events uint64
 
@@ -297,6 +344,16 @@ func New(cfg Config) (*Federation, error) {
 			ID: i, Cluster: cl, Online: on, entitlement: ent, eff: ent,
 		})
 	}
+	if cfg.ShardFaults != nil && cfg.ShardFaults.Enabled() {
+		sc := cfg.ShardFaults.Normalized()
+		if err := sc.Validate(); err != nil {
+			return nil, err
+		}
+		f.sfaults = newShardInjector(sc, len(f.shards))
+		if err := f.armShardFaults(); err != nil {
+			return nil, err
+		}
+	}
 	return f, nil
 }
 
@@ -318,8 +375,16 @@ func (f *Federation) Err() error { return f.failure }
 
 // HandleEvent implements des.Handler for the federation's own events.
 func (f *Federation) HandleEvent(kind uint16, arg uint64) {
+	// The engine clock is already at the firing event's time, but Step
+	// only assigns f.now after StepNext returns; sync it here so
+	// handlers that timestamp state or schedule follow-ups (recovery
+	// timers, recall probes at now+GraceTTL) never work from the
+	// previous event's clock — with sparse traces a stale clock could
+	// even put a follow-up in the engine's past.
+	f.now = f.eng.Now()
 	switch kind {
 	case fevArrival:
+		f.arrivalsLeft--
 		if f.collecting {
 			f.collect = append(f.collect, f.arrivals[arg])
 			return
@@ -327,6 +392,18 @@ func (f *Federation) HandleEvent(kind uint16, arg uint64) {
 		f.routeArrival(f.arrivals[arg])
 	case fevLeaseExpiry:
 		f.expireLease(f.leases[arg])
+	case fevShardCrash:
+		f.handleShardCrash(int(arg))
+	case fevShardRecover:
+		f.handleShardRecover(int(arg))
+	case fevShardRejoin:
+		f.handleShardRejoin(int(arg))
+	case fevShardPartition:
+		f.handleShardPartition(int(arg))
+	case fevShardHeal:
+		f.handleShardHeal(int(arg))
+	case fevLeaseRecall:
+		f.recallProbe(f.leases[arg])
 	}
 }
 
@@ -347,6 +424,9 @@ func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, k
 	f.jobShard[id] = -1 // reserved; set on routing
 	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key, t: t})
 	_, err := f.eng.AtHandler(t, f, fevArrival, uint64(len(f.arrivals)-1))
+	if err == nil {
+		f.arrivalsLeft++
+	}
 	return err
 }
 
@@ -454,6 +534,7 @@ func (f *Federation) Step() (bool, error) {
 		f.brokerPass()
 	}
 	f.audit()
+	f.maybeStopShardFaults()
 	f.rekeyTouched()
 	return true, f.failure
 }
@@ -466,9 +547,12 @@ func (f *Federation) latch(err error) error {
 
 // Run processes events until the federation is quiescent (all arrivals
 // routed, all shard queues empty or blocked forever, no pending lease
-// expiries), then drains every shard.
+// expiries), then drains every shard. An armed shard-fault stream
+// shuts itself down when the last routed job turns terminal, so the
+// event set stays finite. Interrupt stops stepping early and goes
+// straight to Drain.
 func (f *Federation) Run() error {
-	for {
+	for !f.interrupted.Load() {
 		ok, err := f.Step()
 		if err != nil {
 			return err
@@ -480,11 +564,31 @@ func (f *Federation) Run() error {
 	return f.Drain()
 }
 
-// Drain ends the run: every active lease is recalled (shards return to
-// their entitlements, so queued work drains under the bounds it was
+// Interrupt asks a running Run or RunParallel to stop stepping at the
+// next event boundary and drain. Safe to call from another goroutine
+// (the signal handler); everything else on Federation is not.
+func (f *Federation) Interrupt() { f.interrupted.Store(true) }
+
+// Interrupted reports whether the run was cut short by Interrupt.
+func (f *Federation) Interrupted() bool { return f.interrupted.Load() }
+
+// ArrivalsPending reports how many scheduled arrivals have not been
+// routed yet (non-zero after an interrupted run).
+func (f *Federation) ArrivalsPending() int { return f.arrivalsLeft }
+
+// Drain ends the run: the shard-fault stream is stopped, every orphaned
+// lease is force-settled and every active lease recalled (shards return
+// to their entitlements, so queued work drains under the bounds it was
 // admitted for), then each shard drains its resident and queued jobs in
-// virtual time. After Drain every submitted job is terminal.
+// virtual time. After Drain every submitted job is terminal and every
+// lease ever granted is in a terminal state.
 func (f *Federation) Drain() error {
+	if f.sfaults != nil && !f.sfStopped {
+		f.stopShardFaults()
+	}
+	for _, l := range append([]*Lease(nil), f.orphans...) {
+		f.settleOrphan(l, true)
+	}
 	for _, l := range append([]*Lease(nil), f.active...) {
 		f.settleLease(l, LeaseRecalled)
 	}
@@ -546,8 +650,13 @@ func (f *Federation) AuditStats() (audits, violations int) {
 // audit asserts the federation's power invariants at the current event
 // boundary: the sum of effective shard bounds never exceeds the
 // aggregate cap, every shard's scheduler agrees with the broker's
-// mirror of its bound, and lease accounting balances (Σ lent = Σ
-// borrowed = Σ active lease watts).
+// mirror of its bound (through partitions too — the mirror moves only
+// when the scheduler's bound does), and lease accounting balances
+// (Σ lent = Σ borrowed = Σ active + orphaned lease watts). With a
+// shard-fault stream armed it additionally asserts the degraded-mode
+// invariant that every orphaned lease still touches an unhealthy shard
+// — an orphan both of whose endpoints returned to full health should
+// have settled.
 func (f *Federation) audit() {
 	f.audits++
 	f.auditCheck()
@@ -564,32 +673,77 @@ func (f *Federation) auditCheck() {
 	for _, sh := range f.shards {
 		b := sh.Online.Bound()
 		if b != sh.eff {
-			f.violation(fmt.Sprintf("shard %d bound %.9f drifted from broker mirror %.9f", sh.ID, b, sh.eff))
+			f.violation("mirror-drift", fmt.Sprintf("shard %d bound %.9f drifted from broker mirror %.9f", sh.ID, b, sh.eff))
 		}
 		sum += b
 		lent += sh.lentW
 		borrowed += sh.borrowedW
 	}
 	if sum > f.cfg.Lending.AggregateCapW+eps {
-		f.violation(fmt.Sprintf("aggregate bound %.9f exceeds cap %.9f", sum, f.cfg.Lending.AggregateCapW))
+		f.violation("cap-exceeded", fmt.Sprintf("aggregate bound %.9f exceeds cap %.9f", sum, f.cfg.Lending.AggregateCapW))
 	}
 	var onLoan float64
 	for _, l := range f.active {
 		onLoan += l.Watts
 	}
+	for _, l := range f.orphans {
+		onLoan += l.Watts
+	}
 	if diff := lent - onLoan; diff > eps || diff < -eps {
-		f.violation(fmt.Sprintf("lent watts %.9f != active lease watts %.9f", lent, onLoan))
+		f.violation("lent-imbalance", fmt.Sprintf("lent watts %.9f != outstanding lease watts %.9f", lent, onLoan))
 	}
 	if diff := borrowed - onLoan; diff > eps || diff < -eps {
-		f.violation(fmt.Sprintf("borrowed watts %.9f != active lease watts %.9f", borrowed, onLoan))
+		f.violation("borrowed-imbalance", fmt.Sprintf("borrowed watts %.9f != outstanding lease watts %.9f", borrowed, onLoan))
+	}
+	if f.sfaults != nil {
+		for _, l := range f.orphans {
+			if f.sfaults.healthOf(l.Lender) == ShardHealthy && f.sfaults.healthOf(l.Borrower) == ShardHealthy {
+				f.violation("orphan-healthy", fmt.Sprintf("lease %d orphaned with both endpoints healthy (%d->%d)", l.ID, l.Lender, l.Borrower))
+			}
+		}
 	}
 	gAggBound.Set(sum)
 	gWattsOnLoan.Set(onLoan)
 }
 
-// violation records one audit failure and latches it as the
+// AuditViolation is one recorded audit failure: the virtual time of the
+// violating event, the violation class, and the full message.
+type AuditViolation struct {
+	// T is the shared-clock timestamp of the event whose audit failed.
+	T float64
+	// Kind is the violation class (mirror-drift, cap-exceeded,
+	// lent-imbalance, borrowed-imbalance, orphan-healthy).
+	Kind string
+	// Msg is the full violation description.
+	Msg string
+}
+
+// maxViolationLog bounds the violation ring: the first occurrence of up
+// to this many distinct violation kinds is kept.
+const maxViolationLog = 8
+
+// Violations returns the recorded ring of audit violations: the first
+// occurrence of each distinct violation kind, up to eight, with event
+// timestamps — so a chaos run's failure modes are all visible from one
+// run instead of only the first (which is still what Err reports).
+func (f *Federation) Violations() []AuditViolation { return f.violationLog }
+
+// violation records one audit failure — counted always, ringed if its
+// kind is new and the ring has room — and latches the first as the
 // federation's failure.
-func (f *Federation) violation(msg string) {
+func (f *Federation) violation(kind, msg string) {
 	f.violations++
+	if len(f.violationLog) < maxViolationLog {
+		seen := false
+		for _, v := range f.violationLog {
+			if v.Kind == kind {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			f.violationLog = append(f.violationLog, AuditViolation{T: f.now, Kind: kind, Msg: msg})
+		}
+	}
 	f.fail(fmt.Errorf("fed: audit: %s", msg))
 }

@@ -69,8 +69,13 @@ func renderRun(f *Federation) string {
 			js.ID, sh, js.State, js.Arrival, js.Start, js.Finish, js.Nodes, js.Retries)
 	}
 	for _, l := range f.Leases() {
-		fmt.Fprintf(&b, "lease %d %d->%d %.1fW granted=%.9f settled=%.9f state=%s\n",
-			l.ID, l.Lender, l.Borrower, l.Watts, l.GrantedAt, l.SettledAt, l.State)
+		fmt.Fprintf(&b, "lease %d %d->%d %.1fW granted=%.9f settled=%.9f state=%s orphaned=%.9f attempts=%d forced=%v\n",
+			l.ID, l.Lender, l.Borrower, l.Watts, l.GrantedAt, l.SettledAt, l.State,
+			l.OrphanedAt, l.Attempts, l.Forced)
+	}
+	if f.ShardFaultsArmed() {
+		downs, parts := f.ShardFaultStats()
+		fmt.Fprintf(&b, "chaos downs=%d partitions=%d evacuated=%d\n", downs, parts, f.Evacuated())
 	}
 	audits, violations := f.AuditStats()
 	fmt.Fprintf(&b, "events=%d audits=%d violations=%d\n", f.Events(), audits, violations)

@@ -87,6 +87,12 @@ type windowResult struct {
 //     fault events), so with every queue empty no borrower can appear.
 //     Otherwise the span is safe only if no shard's envelope — even
 //     with all its watts free — could reach the lending quantum.
+//
+// An armed shard-fault stream needs no extra clause: every health
+// transition, evacuation, orphaning and reclaim probe is a
+// federation-owned event, so windows end strictly before it; orphaned
+// leases are out of f.active with their watts frozen in place, so
+// nothing they hold can move mid-window.
 func (f *Federation) windowSafe() bool {
 	if f.anyFaults {
 		return false
@@ -157,14 +163,16 @@ func (f *Federation) RunParallel(workers int) error {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	f.ensureHeap()
-	if f.failure == nil && !f.anyFaults && f.cfg.Routing == Locality && f.lendingInert() {
+	if f.failure == nil && !f.anyFaults && f.sfaults == nil &&
+		f.cfg.Routing == Locality && f.lendingInert() {
 		// Locality routing is a pure hash of the job key — arrivals
 		// read no cross-shard state — and the broker can never act, so
 		// the federation has no interaction points at all: the run is
-		// one infinite window per shard.
+		// one infinite window per shard. A shard-fault stream disables
+		// this path: health transitions are interaction points.
 		return f.runPartitioned(workers)
 	}
-	for f.failure == nil {
+	for f.failure == nil && !f.interrupted.Load() {
 		tFed, fedOk := f.eng.Next()
 		_, tSh, shOk := f.heap.min()
 		if !fedOk && !shOk {
@@ -252,6 +260,12 @@ func (f *Federation) runWindow(tFed float64, fedOk bool, workers int) {
 	mWindowEvents.Add(uint64(total))
 	f.audits += total
 	f.auditCheck()
+	// The last routed job can turn terminal mid-window; the serial run
+	// would have cancelled the fault-stream generators at that event.
+	// Cancelling them here is equivalent: generator events are
+	// federation events, so they live at or beyond this window's bound
+	// and none can have fired yet.
+	f.maybeStopShardFaults()
 	mWindows.Inc()
 	hBarrier.Observe(time.Since(barrierStart).Seconds())
 }
@@ -401,10 +415,17 @@ func (f *Federation) replayShard(sh *Shard, arrivals []fedArrival) {
 }
 
 // drainParallel is Drain with the per-shard drains fanned out over the
-// worker pool: after the serial lease recalls and the final audit,
-// shards share nothing, so each drains its resident and queued jobs
-// concurrently. Results merge in shard order.
+// worker pool: after the serial fault-stream stop, orphan settlement,
+// lease recalls and the final audit, shards share nothing, so each
+// drains its resident and queued jobs concurrently. Results merge in
+// shard order.
 func (f *Federation) drainParallel(workers int) error {
+	if f.sfaults != nil && !f.sfStopped {
+		f.stopShardFaults()
+	}
+	for _, l := range append([]*Lease(nil), f.orphans...) {
+		f.settleOrphan(l, true)
+	}
 	for _, l := range append([]*Lease(nil), f.active...) {
 		f.settleLease(l, LeaseRecalled)
 	}

@@ -61,7 +61,65 @@ func ShardFor(key string, n int) int {
 }
 
 // pickShard applies the configured routing policy to one arrival.
+// With a shard-fault stream armed, unhealthy shards (down, partitioned
+// or rejoining) are steered around; if no shard is routable at all the
+// router falls back to health-blind placement — the job must land
+// somewhere, and the region will run it once it recovers. Health is
+// only read at federation-owned events, so routing stays a pure
+// function of deterministic state.
 func (f *Federation) pickShard(a fedArrival) int {
+	if f.sfaults == nil {
+		return f.pickShardAll(a)
+	}
+	switch f.cfg.Routing {
+	case PowerHeadroom:
+		best, bestW := -1, 0.0
+		for _, sh := range f.shards {
+			if !f.routable(sh.ID) {
+				continue
+			}
+			if w := sh.Online.FreeWatts(); best < 0 || w > bestW {
+				best, bestW = sh.ID, w
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	case Locality:
+		// Linear-probe from the key's home shard so placement stays a
+		// pure function of (key, health vector) and keys rehome to
+		// stable neighbors for the duration of an outage.
+		key := a.key
+		if key == "" {
+			key = a.id
+		}
+		home := ShardFor(key, len(f.shards))
+		for k := 0; k < len(f.shards); k++ {
+			if id := (home + k) % len(f.shards); f.routable(id) {
+				return id
+			}
+		}
+	default: // LeastLoaded
+		best, bq, br := -1, 0, 0
+		for _, sh := range f.shards {
+			if !f.routable(sh.ID) {
+				continue
+			}
+			q, r := sh.Online.QueueLen(), sh.Online.RunningLen()
+			if best < 0 || q < bq || (q == bq && r < br) {
+				best, bq, br = sh.ID, q, r
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	return f.pickShardAll(a)
+}
+
+// pickShardAll is the health-blind policy core: the hot path when no
+// fault stream is armed, and the all-shards-unhealthy fallback.
+func (f *Federation) pickShardAll(a fedArrival) int {
 	switch f.cfg.Routing {
 	case PowerHeadroom:
 		best, bestW := 0, f.shards[0].Online.FreeWatts()

@@ -1,0 +1,451 @@
+package fed
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/jobsched"
+)
+
+// TestShardScenarioParse: the spec grammar round-trips through String
+// and rejects malformed input.
+func TestShardScenarioParse(t *testing.T) {
+	sc, err := ParseShardScenario("crash-mtbf=400,mttr=90,part-mtbf=600,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.CrashMTBF != 400 || sc.MTTR != 90 || sc.PartitionMTBF != 600 || sc.Seed != 7 {
+		t.Fatalf("parsed %+v, want crash-mtbf=400 mttr=90 part-mtbf=600 seed=7", sc)
+	}
+	if sc.PartitionDur != DefaultPartitionDur || sc.RejoinDelay != DefaultRejoinDelay ||
+		sc.GraceTTL != DefaultGraceTTL || sc.RecallRetries != DefaultRecallRetries ||
+		sc.RecallBackoff != DefaultRecallBackoff || sc.RecallCap != DefaultRecallCap ||
+		sc.RecallJitter != DefaultRecallJitter {
+		t.Fatalf("defaults not applied: %+v", sc)
+	}
+	if !sc.Enabled() {
+		t.Fatal("parsed scenario reports disabled")
+	}
+	rt, err := ParseShardScenario(sc.String())
+	if err != nil {
+		t.Fatalf("round trip of %q: %v", sc.String(), err)
+	}
+	if *rt != *sc {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", sc, rt)
+	}
+	for _, bad := range []string{
+		"crash-mtbf",          // not key=value
+		"mtbf=100",            // unknown key
+		"crash-mtbf=banana",   // bad float
+		"crash-mtbf=-5",       // negative duration
+		"recall-jitter=99",    // jitter out of range
+		"recall-retries=1000", // probe budget out of range
+	} {
+		if _, err := ParseShardScenario(bad); err == nil {
+			t.Errorf("ParseShardScenario(%q) accepted", bad)
+		}
+	}
+	var zero ShardScenario
+	if zero.Enabled() {
+		t.Error("zero scenario reports enabled")
+	}
+}
+
+// TestShardHealthMachine: every legal transition moves the machine,
+// every stale one is rejected, and the unhealthy count tracks.
+func TestShardHealthMachine(t *testing.T) {
+	base := ShardScenario{Seed: 1, CrashMTBF: 100}
+	in := newShardInjector(base.Normalized(), 3)
+	for i := 0; i < 3; i++ {
+		if h := in.healthOf(i); h != ShardHealthy {
+			t.Fatalf("shard %d starts %s, want healthy", i, h)
+		}
+	}
+	if !in.partitionShard(0) {
+		t.Fatal("partition from healthy rejected")
+	}
+	if in.partitionShard(0) {
+		t.Fatal("partition from partitioned accepted")
+	}
+	if in.healthOf(0) != ShardPartitioned || in.unhealthy != 1 {
+		t.Fatalf("after partition: %s, unhealthy=%d", in.healthOf(0), in.unhealthy)
+	}
+	if in.routable(0) || in.reachable(0) {
+		t.Error("partitioned shard is routable or reachable")
+	}
+	// A crash absorbs the ongoing partition.
+	if !in.crashShard(0) {
+		t.Fatal("crash from partitioned rejected")
+	}
+	if in.crashShard(0) || in.partitionShard(0) || in.healShard(0) || in.rejoinShard(0) {
+		t.Error("transition out of down other than recover accepted")
+	}
+	if in.healthOf(0) != ShardDown || in.unhealthy != 1 {
+		t.Fatalf("after crash: %s, unhealthy=%d", in.healthOf(0), in.unhealthy)
+	}
+	if !in.recoverShard(0) {
+		t.Fatal("recover from down rejected")
+	}
+	if in.recoverShard(0) || in.crashShard(0) || in.partitionShard(0) || in.healShard(0) {
+		t.Error("transition out of rejoining other than rejoin accepted")
+	}
+	if !in.reachable(0) {
+		t.Error("rejoining shard is not reachable")
+	}
+	if in.routable(0) {
+		t.Error("rejoining shard is routable")
+	}
+	if !in.rejoinShard(0) {
+		t.Fatal("rejoin from rejoining rejected")
+	}
+	if in.healthOf(0) != ShardHealthy || in.unhealthy != 0 {
+		t.Fatalf("after rejoin: %s, unhealthy=%d", in.healthOf(0), in.unhealthy)
+	}
+	// Heal only applies to partitioned shards.
+	if in.healShard(1) || in.rejoinShard(1) || in.recoverShard(1) {
+		t.Error("stale transition on a healthy shard accepted")
+	}
+	if !in.partitionShard(1) || !in.healShard(1) {
+		t.Error("partition/heal round trip rejected")
+	}
+	if in.downs[0] != 1 || in.partitions[0] != 1 || in.partitions[1] != 1 {
+		t.Errorf("counters downs=%v partitions=%v", in.downs, in.partitions)
+	}
+}
+
+// TestRecallBackoffSchedule: the probe schedule grows exponentially to
+// the cap, carries bounded jitter, and is a pure function of
+// (seed, lease, attempt).
+func TestRecallBackoffSchedule(t *testing.T) {
+	base := ShardScenario{Seed: 9, CrashMTBF: 100}
+	sc := base.Normalized()
+	in := newShardInjector(sc, 1)
+	for attempt := 1; attempt <= 8; attempt++ {
+		d := in.recallBackoff(5, attempt)
+		want := sc.RecallBackoff * math.Pow(2, float64(attempt-1))
+		if want > sc.RecallCap {
+			want = sc.RecallCap
+		}
+		if d < want || d > want*(1+sc.RecallJitter) {
+			t.Errorf("attempt %d: delay %.3f outside [%.3f, %.3f]",
+				attempt, d, want, want*(1+sc.RecallJitter))
+		}
+		if again := in.recallBackoff(5, attempt); again != d {
+			t.Errorf("attempt %d: backoff not deterministic (%.9f vs %.9f)", attempt, d, again)
+		}
+	}
+	if d := in.recallBackoff(5, 40); d > sc.RecallCap*(1+sc.RecallJitter) {
+		t.Errorf("attempt 40: delay %.3f escaped the cap", d)
+	}
+	if in.recallBackoff(1, 1) == in.recallBackoff(2, 1) {
+		t.Error("distinct leases drew identical jitter")
+	}
+}
+
+// chaosConfig builds a 4-shard federation config with the given lending
+// switch and shard-fault spec.
+func chaosConfig(t *testing.T, lend bool, spec string) Config {
+	t.Helper()
+	sf, err := ParseShardScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Shards:      shardCfg(4, 4, 500, jobsched.AggressiveBackfill),
+		Routing:     LeastLoaded,
+		ShardFaults: sf,
+	}
+	if lend {
+		cfg.Lending = Lending{Enabled: true, AggregateCapW: 1700, TTL: 90, QuantumW: 50}
+	}
+	return cfg
+}
+
+// chaosInvariants asserts the degraded-mode acceptance criteria on a
+// finished chaos run: zero jobs lost, every lease terminal, no audit
+// violation, and evacuated jobs accounted exactly once.
+func chaosInvariants(t *testing.T, tag string, f *Federation, jobs int) {
+	t.Helper()
+	if audits, violations := f.AuditStats(); violations != 0 {
+		t.Errorf("%s: %d violations in %d audits: %v", tag, violations, audits, f.Violations())
+	}
+	got := f.Jobs()
+	if len(got) != jobs {
+		t.Errorf("%s: %d terminal jobs, want %d (jobs lost)", tag, len(got), jobs)
+	}
+	for _, js := range got {
+		if !js.State.Terminal() {
+			t.Errorf("%s: job %s ended non-terminal (%s)", tag, js.ID, js.State)
+		}
+	}
+	for _, l := range f.Leases() {
+		if l.State == LeaseActive || l.State == LeaseOrphaned {
+			t.Errorf("%s: lease %d ended non-terminal (%s)", tag, l.ID, l.State)
+		}
+		if l.State == LeaseReclaimed && l.SettledAt < l.OrphanedAt {
+			t.Errorf("%s: lease %d reclaimed at %.3f before orphaned at %.3f",
+				tag, l.ID, l.SettledAt, l.OrphanedAt)
+		}
+	}
+	if len(f.OrphanedLeases()) != 0 {
+		t.Errorf("%s: %d leases still in the reclaim protocol", tag, len(f.OrphanedLeases()))
+	}
+	// Exactly-once placement: every routing and evacuation incremented
+	// exactly one shard's submitted counter.
+	sub := 0
+	for _, sh := range f.Shards() {
+		sub += sh.submitted
+	}
+	if sub != jobs+f.Evacuated() {
+		t.Errorf("%s: Σ submitted %d != %d routed + %d evacuated", tag, sub, jobs, f.Evacuated())
+	}
+}
+
+// TestChaosByteIdentity is the shard-fault property suite: for every
+// fault class mix × lending switch, the serial run satisfies the
+// degraded-mode invariants and RunParallel emits byte-identical output
+// for workers 1, 2 and 4 — with repeat serial runs identical too.
+func TestChaosByteIdentity(t *testing.T) {
+	scenarios := []string{
+		"crash-mtbf=500,mttr=120,seed=3",
+		"part-mtbf=400,part-dur=80,seed=5",
+		"crash-mtbf=600,mttr=100,part-mtbf=500,part-dur=60,seed=8",
+	}
+	const jobs = 48
+	engaged := 0
+	for _, lend := range []bool{false, true} {
+		for _, spec := range scenarios {
+			tag := fmt.Sprintf("lend=%v spec=%q", lend, spec)
+			serial := func() (*Federation, string) {
+				f, err := New(chaosConfig(t, lend, spec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				scheduleTrace(t, f, 21, jobs, 12)
+				if err := f.Run(); err != nil {
+					t.Fatalf("%s: %v", tag, err)
+				}
+				return f, renderRun(f)
+			}
+			f, want := serial()
+			chaosInvariants(t, tag, f, jobs)
+			downs, parts := f.ShardFaultStats()
+			engaged += downs + parts
+			if _, again := serial(); again != want {
+				t.Errorf("%s: repeat serial run diverged", tag)
+			}
+			for _, w := range []int{1, 2, 4} {
+				fp, err := New(chaosConfig(t, lend, spec))
+				if err != nil {
+					t.Fatal(err)
+				}
+				scheduleTrace(t, fp, 21, jobs, 12)
+				if err := fp.RunParallel(w); err != nil {
+					t.Fatalf("%s workers=%d: %v", tag, w, err)
+				}
+				if got := renderRun(fp); got != want {
+					t.Errorf("%s: workers=%d diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+						tag, w, want, got)
+				}
+			}
+		}
+	}
+	if engaged == 0 {
+		t.Error("no scenario injected a single shard fault; the suite tested nothing")
+	}
+}
+
+// TestChaosOrphanReclaim: with lending hot and crashes frequent, leases
+// orphan and every one of them ends reclaimed with its watts returned —
+// shards sit back at entitlement after the drain.
+func TestChaosOrphanReclaim(t *testing.T) {
+	cfg := Config{
+		Shards: []ShardConfig{
+			{Nodes: 4, BudgetW: 320, Sigma: 0.02, Seed: 100, Policy: jobsched.Backfill, Reallocate: true},
+			{Nodes: 4, BudgetW: 1200, Sigma: 0.02, Seed: 101, Policy: jobsched.Backfill, Reallocate: true},
+			{Nodes: 4, BudgetW: 1200, Sigma: 0.02, Seed: 102, Policy: jobsched.Backfill, Reallocate: true},
+		},
+		Routing: Locality,
+		Lending: Lending{Enabled: true, TTL: 500, QuantumW: 60},
+	}
+	var orphaned int
+	for seed := uint64(1); seed <= 6 && orphaned == 0; seed++ {
+		sf, err := ParseShardScenario(fmt.Sprintf("crash-mtbf=220,mttr=80,seed=%d", seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ShardFaults = sf
+		f, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pin a burst onto shard 0 so it borrows from the idle shards.
+		key0, _ := localityKeys(t, 3)
+		mix := apps()
+		for i := 0; i < 12; i++ {
+			if err := f.ScheduleArrival(float64(i)*15, fmt.Sprintf("j%02d", i), mix[i%len(mix)], key0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := f.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		chaosInvariants(t, fmt.Sprintf("seed=%d", seed), f, 12)
+		for _, l := range f.Leases() {
+			if l.OrphanedAt > 0 {
+				orphaned++
+				if l.State != LeaseReclaimed {
+					t.Errorf("seed %d: orphaned lease %d ended %s, want reclaimed", seed, l.ID, l.State)
+				}
+			}
+		}
+		for _, sh := range f.Shards() {
+			if math.Abs(sh.Online.Bound()-sh.entitlement) > 1e-9 {
+				t.Errorf("seed %d: shard %d bound %.3f != entitlement %.3f after drain",
+					seed, sh.ID, sh.Online.Bound(), sh.entitlement)
+			}
+		}
+	}
+	if orphaned == 0 {
+		t.Error("no lease was ever orphaned across the seeds; reclaim path untested")
+	}
+}
+
+// TestChaosEvacuation: a crash with queued work migrates the queue to
+// survivors and the run still loses nothing.
+func TestChaosEvacuation(t *testing.T) {
+	var evacuated int
+	for seed := uint64(1); seed <= 8 && evacuated == 0; seed++ {
+		spec := fmt.Sprintf("crash-mtbf=260,mttr=150,seed=%d", seed)
+		f, err := New(chaosConfig(t, false, spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Short gaps pile up queues so a crash catches queued work.
+		scheduleTrace(t, f, seed, 64, 4)
+		if err := f.Run(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		chaosInvariants(t, fmt.Sprintf("seed=%d", seed), f, 64)
+		evacuated += f.Evacuated()
+	}
+	if evacuated == 0 {
+		t.Error("no job was ever evacuated across the seeds; evacuation path untested")
+	}
+}
+
+// TestViolationRing: the audit records the first occurrence of each
+// distinct violation kind (bounded), while Err still latches the first.
+func TestViolationRing(t *testing.T) {
+	f, err := New(Config{Shards: shardCfg(2, 4, 800, jobsched.FCFS)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.now = 42
+	f.violation("cap-exceeded", "first")
+	f.now = 43
+	f.violation("cap-exceeded", "second of same kind")
+	f.violation("mirror-drift", "different kind")
+	for i := 0; i < 20; i++ {
+		f.violation(fmt.Sprintf("kind-%d", i), "filler")
+	}
+	vs := f.Violations()
+	if len(vs) != maxViolationLog {
+		t.Fatalf("ring holds %d entries, want %d", len(vs), maxViolationLog)
+	}
+	if vs[0].Kind != "cap-exceeded" || vs[0].T != 42 || vs[0].Msg != "first" {
+		t.Errorf("ring[0] = %+v, want the first cap-exceeded at t=42", vs[0])
+	}
+	if vs[1].Kind != "mirror-drift" {
+		t.Errorf("ring[1] = %+v, want mirror-drift", vs[1])
+	}
+	if f.Err() == nil || !strings.Contains(f.Err().Error(), "first") {
+		t.Errorf("Err() = %v, want the first violation latched", f.Err())
+	}
+	if f.violations != 23 {
+		t.Errorf("violation count %d, want 23", f.violations)
+	}
+}
+
+// TestRoutingAvoidsUnhealthyShards: pickShard skips unhealthy shards
+// under every policy, and falls back to health-blind placement when
+// nothing is routable.
+func TestRoutingAvoidsUnhealthyShards(t *testing.T) {
+	sf, err := ParseShardScenario("crash-mtbf=1e12,seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(Config{
+		Shards:      shardCfg(3, 4, 800, jobsched.FCFS),
+		ShardFaults: sf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{LeastLoaded, PowerHeadroom} {
+		f.cfg.Routing = pol
+		f.sfaults.health = []ShardHealth{ShardHealthy, ShardHealthy, ShardHealthy}
+		f.sfaults.health[0] = ShardDown
+		if got := f.pickShard(fedArrival{id: "x"}); got == 0 {
+			t.Errorf("%s routed to the down shard", pol)
+		}
+	}
+	f.cfg.Routing = Locality
+	// Find a key homed on shard 1, take shard 1 down: the probe must
+	// land on shard 2 (home+1), then on shard 0 when 2 is down too.
+	key := ""
+	for i := 0; key == ""; i++ {
+		if k := fmt.Sprintf("k%d", i); ShardFor(k, 3) == 1 {
+			key = k
+		}
+	}
+	f.sfaults.health = []ShardHealth{ShardHealthy, ShardDown, ShardHealthy}
+	if got := f.pickShard(fedArrival{id: "x", key: key}); got != 2 {
+		t.Errorf("locality probe picked %d, want 2", got)
+	}
+	f.sfaults.health[2] = ShardPartitioned
+	if got := f.pickShard(fedArrival{id: "x", key: key}); got != 0 {
+		t.Errorf("locality probe picked %d, want 0", got)
+	}
+	// Nothing routable: fall back to the health-blind home shard.
+	f.sfaults.health[0] = ShardRejoining
+	if got := f.pickShard(fedArrival{id: "x", key: key}); got != 1 {
+		t.Errorf("all-unhealthy fallback picked %d, want home shard 1", got)
+	}
+}
+
+// TestInterruptDrains: Interrupt stops a serial run early; the drain
+// still settles every lease and makes every routed job terminal.
+func TestInterruptDrains(t *testing.T) {
+	f, err := New(Config{Shards: shardCfg(2, 4, 800, jobsched.Backfill)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduleTrace(t, f, 7, 24, 30)
+	// Step a few events, then interrupt.
+	for i := 0; i < 5; i++ {
+		if ok, err := f.Step(); err != nil || !ok {
+			t.Fatalf("step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	f.Interrupt()
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Interrupted() {
+		t.Error("Interrupted() false after Interrupt")
+	}
+	if f.ArrivalsPending() == 0 {
+		t.Error("interrupting after 5 events left no pending arrivals; test is vacuous")
+	}
+	for _, js := range f.Jobs() {
+		if !js.State.Terminal() {
+			t.Errorf("job %s non-terminal after interrupted drain", js.ID)
+		}
+	}
+	if len(f.ActiveLeases()) != 0 || len(f.OrphanedLeases()) != 0 {
+		t.Error("leases outstanding after interrupted drain")
+	}
+}

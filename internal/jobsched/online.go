@@ -511,6 +511,37 @@ func (o *Online) Cancel(id string) (float64, error) {
 	return reclaimed, nil
 }
 
+// EvacuateQueued extracts every queued (not-yet-running) job from the
+// session in queue order and forgets them entirely — the jobs are
+// handed back to the caller for re-submission elsewhere, as if they had
+// never been submitted here. Running and retrying jobs are untouched
+// (they hold nodes and watts on this cluster and must finish or fail
+// here). This is the federation's shard-evacuation primitive: when a
+// shard's control plane crashes, its queue migrates to surviving shards
+// while its resident work rides out the outage.
+func (o *Online) EvacuateQueued() []Job {
+	st := o.st
+	if st.qlive == 0 {
+		return nil
+	}
+	out := make([]Job, 0, st.qlive)
+	for qi := st.qhead; qi < len(st.queue); qi++ {
+		e := &st.queue[qi]
+		if e.started {
+			continue
+		}
+		out = append(out, e.job)
+		e.started = true // tombstone in place, like Cancel
+		st.qlive--
+		delete(o.jobs, e.job.ID)
+		delete(st.retries, e.job.ID)
+		st.jobDone()
+	}
+	st.compactQueue()
+	st.publishState()
+	return out
+}
+
 // Cluster snapshots the cluster's power decomposition, queue pressure
 // and per-node health at the current virtual time.
 func (o *Online) Cluster() ClusterState {

@@ -404,3 +404,61 @@ func TestOnlineProcessEventsUntil(t *testing.T) {
 		t.Errorf("idle window = (%d, %v), want (0, nil)", n, err)
 	}
 }
+
+// TestOnlineEvacuateQueued: the federation's shard-evacuation primitive
+// hands back exactly the queued jobs in queue order, forgets them as if
+// never submitted (their ids are reusable), and leaves running work
+// untouched.
+func TestOnlineEvacuateQueued(t *testing.T) {
+	o := online(t, Config{Bound: 320})
+	if _, err := o.Submit("a", workload.CoMD()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"b", "c", "d"} {
+		js, err := o.Submit(id, workload.CoMD())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State != JobQueued {
+			t.Fatalf("job %s %v, want queued", id, js.State)
+		}
+	}
+	jobs := o.EvacuateQueued()
+	if len(jobs) != 3 || jobs[0].ID != "b" || jobs[1].ID != "c" || jobs[2].ID != "d" {
+		t.Fatalf("evacuated %v, want [b c d] in queue order", jobs)
+	}
+	for _, j := range jobs {
+		if j.App == nil {
+			t.Errorf("evacuated job %s lost its application", j.ID)
+		}
+		if _, err := o.Status(j.ID); err == nil {
+			t.Errorf("evacuated job %s still known to the session", j.ID)
+		}
+	}
+	if cs := o.Cluster(); cs.Queued != 0 || cs.Running != 1 {
+		t.Errorf("cluster queued=%d running=%d after evacuation, want 0/1", cs.Queued, cs.Running)
+	}
+	if o.Pending() != 1 {
+		t.Errorf("pending = %d after evacuation, want 1 (the running job)", o.Pending())
+	}
+	// An idle queue evacuates to nothing.
+	if jobs := o.EvacuateQueued(); jobs != nil {
+		t.Errorf("second evacuation returned %v, want nil", jobs)
+	}
+	// The ids are free again — a survivor shard re-submits them.
+	if _, err := o.Submit("b", workload.CoMD()); err != nil {
+		t.Errorf("re-submitting an evacuated id: %v", err)
+	}
+	if err := o.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"a", "b"} {
+		js, err := o.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.State != JobCompleted {
+			t.Errorf("job %s ended %v after drain", id, js.State)
+		}
+	}
+}

@@ -89,6 +89,19 @@ go build -o "$TMP/clipfed" ./cmd/clipfed
 cat "$TMP/clipfed_full.txt" >&2
 grep '^clipfed shards=' "$TMP/clipfed_full.txt" > "$TMP/clipfed.txt"
 
+echo "== clipfed chaos federation, 64 shards + shard faults ==" >&2
+# The degraded-mode throughput row: same 64-shard federation with the
+# deterministic shard-fault stream armed (crashes + partitions), so the
+# health machine, orphan-reclaim probes and queue evacuations are all on
+# the measured path. Exits non-zero on any audit violation, failing the
+# bench run outright.
+CHAOS_FLAGS="-shards 64 -nodes 4 -budget 400 -jobs 512 -gap 1 -routing locality -seed 1 \
+    -shard-faults crash-mtbf=400,mttr=120,part-mtbf=600,part-dur=60 -shard-fault-seed 9"
+"$TMP/clipfed" $CHAOS_FLAGS > /dev/null 2> "$TMP/clipfed_chaos_full.txt"
+cat "$TMP/clipfed_chaos_full.txt" >&2
+grep '^clipfed shards=' "$TMP/clipfed_chaos_full.txt" \
+    | sed 's/^clipfed /clipfed_chaos /' > "$TMP/clipfed_chaos.txt"
+
 echo "== clipfed parallel executor, 64 shards x 4096 jobs ==" >&2
 # The conservative-window executor's scaling row: locality routing with
 # lending off takes the partitioned fast path (one window per shard).
@@ -160,6 +173,16 @@ awk -v serial="$SERIAL_MS" -v par="$PARALLEL_MS" -v workers="$WORKERS" '
         fbody = fbody sprintf("%s\"%s\": %s", fbody == "" ? "" : ", ", k, v)
     }
 }
+/^clipfed_chaos / {
+    # Same shape, 64 shards with the shard-fault stream armed.
+    cfbody = ""
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        k = substr($(i), 1, eq - 1)
+        v = substr($(i), eq + 1)
+        cfbody = cfbody sprintf("%s\"%s\": %s", cfbody == "" ? "" : ", ", k, v)
+    }
+}
 /^clipfed_parallel / {
     # Parallel-executor scaling rows, best-of-N per worker count.
     w = ""; eps = 0
@@ -197,13 +220,14 @@ END {
     printf "  \"clipload\": {%s},\n", lbody
     printf "  \"clipload_batch_50k\": {%s},\n", l50body
     printf "  \"clipfed\": {%s},\n", fbody
+    printf "  \"clipfed_chaos\": {%s},\n", cfbody
     printf "  \"clipfed_parallel\": [\n"
     for (i = 1; i <= pn; i++)
         printf "    {%s}%s\n", pbody[porder[i]], i < pn ? "," : ""
     printf "  ],\n"
     printf "  \"suite\": {\"serial_wall_ms\": %s, \"parallel_wall_ms\": %s, \"workers\": %s}\n", serial, par, workers
     printf "}\n"
-}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" "$TMP/clipload50k.txt" "$TMP/clipfed.txt" "$TMP/clipfed_par.txt" > "$OUT"
+}' "$TMP/bench.txt" "$TMP/chaos.txt" "$TMP/clipload.txt" "$TMP/clipload50k.txt" "$TMP/clipfed.txt" "$TMP/clipfed_chaos.txt" "$TMP/clipfed_par.txt" > "$OUT"
 
 echo "wrote $OUT" >&2
 cat "$OUT"

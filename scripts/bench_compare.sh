@@ -137,3 +137,47 @@ END {
     if (bad) print "bench_compare: regenerate the baseline with make bench if this change is intentional"
     exit bad
 }' "$TMP/fed.txt"
+
+# Chaos-federation gate: the same 64-shard workload with the shard-fault
+# stream armed (health machine, orphan-reclaim probes and evacuations on
+# the hot path), best-of-5 events/s against the baseline's clipfed_chaos
+# row. A non-zero clipfed exit here means the degraded-mode audit itself
+# failed, which aborts the gate immediately under set -e.
+CHAOS_FLAGS="-shards 64 -nodes 4 -budget 400 -jobs 512 -gap 1 -routing locality -seed 1 \
+    -shard-faults crash-mtbf=400,mttr=120,part-mtbf=600,part-dur=60 -shard-fault-seed 9"
+: > "$TMP/chaosfed.txt"
+i=0
+while [ "$i" -lt 5 ]; do
+    "$TMP/clipfed" $CHAOS_FLAGS > /dev/null 2> "$TMP/cfc.txt"
+    grep '^clipfed shards=' "$TMP/cfc.txt" >> "$TMP/chaosfed.txt"
+    i=$((i + 1))
+done
+
+awk -v base="$BASE" '
+BEGIN {
+    # Baseline: the one-line "clipfed_chaos": {...} object.
+    beps = 0
+    while ((getline line < base) > 0) {
+        if (line !~ /"clipfed_chaos"/) continue
+        if (match(line, /"events_per_s": [0-9.e+]+/))
+            beps = substr(line, RSTART + 16, RLENGTH - 16) + 0
+    }
+}
+/^clipfed shards=/ {
+    for (i = 2; i <= NF; i++) {
+        eq = index($(i), "=")
+        if (substr($(i), 1, eq - 1) == "events_per_s") {
+            eps = substr($(i), eq + 1) + 0
+            if (eps > best) best = eps
+        }
+    }
+}
+END {
+    if (beps == 0) { print "bench_compare: no clipfed_chaos baseline row (regenerate with make bench)"; exit 1 }
+    if (best < beps * 0.80) {
+        printf "bench_compare: FAIL clipfed_chaos events/s %.0f, baseline %.0f (-20%% limit)\n", best, beps
+        print "bench_compare: regenerate the baseline with make bench if this change is intentional"
+        exit 1
+    }
+    printf "bench_compare: ok   clipfed_chaos events/s %.0f (baseline %.0f)\n", best, beps
+}' "$TMP/chaosfed.txt"
