@@ -32,6 +32,7 @@ check:
 	$(GO) run ./cmd/clipsim -app sp-mz.C -budget 1200 \
 		-faults "crash-mtbf=120,mttr=20,exc-mtbf=240,seed=7" \
 		| grep -q "bound-invariant: ok"
+	./scripts/preempt_smoke.sh
 	./scripts/clipd_smoke.sh
 	./scripts/fed_smoke.sh
 	./scripts/fed_chaos_smoke.sh

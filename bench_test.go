@@ -256,3 +256,48 @@ func BenchmarkJobschedThroughput(b *testing.B) {
 		}
 	}
 }
+
+var (
+	priThroughputOnce  sync.Once
+	priThroughputSched *jobsched.Scheduler
+	priThroughputTrace []jobsched.Job
+)
+
+// BenchmarkJobschedPriorityThroughput is the same 1000-job trace with a
+// quarter of the jobs at high priority and preemption enabled — the
+// worst case for the priority pipeline (priority scan order, feasibility
+// filtering and preemption planning live on every event).
+func BenchmarkJobschedPriorityThroughput(b *testing.B) {
+	priThroughputOnce.Do(func() {
+		cl := hw.NewCluster(16, hw.HaswellSpec(), 0.02, 7)
+		clip, err := core.New(cl)
+		if err != nil {
+			panic(err)
+		}
+		s, err := jobsched.New(cl, clip, jobsched.Config{
+			Bound: 4200, Policy: jobsched.Backfill, Reallocate: true, Preempt: true})
+		if err != nil {
+			panic(err)
+		}
+		priThroughputSched = s
+		apps := []*workload.Spec{workload.CoMD(), workload.SPMZ(),
+			workload.LUMZ(), workload.TeaLeaf(), workload.AMG()}
+		r := rng.New(3)
+		t := 0.0
+		for i := 0; i < 1000; i++ {
+			t += r.Range(0, 60)
+			pri := 0
+			if i%4 == 0 {
+				pri = 5
+			}
+			priThroughputTrace = append(priThroughputTrace, jobsched.Job{
+				ID: fmt.Sprintf("j%04d", i), App: apps[i%len(apps)], Arrival: t, Priority: pri})
+		}
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := priThroughputSched.Run(priThroughputTrace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

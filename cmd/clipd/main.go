@@ -60,10 +60,11 @@ func main() {
 	faultSpec := flag.String("faults", "", "live fault injection as key=value pairs, e.g. \"crash-mtbf=120,mttr=20,seed=7\"")
 	teleOut := flag.String("telemetry-out", "", "write a telemetry report (JSON) here after drain")
 	pprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the same listener")
+	preempt := flag.Bool("preempt", true, "let higher-priority jobs evict lower-priority running jobs")
 	flag.Parse()
 
 	if err := run(*listen, *budget, *nodes, *sigma, *policy, *realloc,
-		*timescale, *queueDepth, *reqTimeout, *faultSpec, *teleOut, *pprof); err != nil {
+		*timescale, *queueDepth, *reqTimeout, *faultSpec, *teleOut, *pprof, *preempt); err != nil {
 		fmt.Fprintln(os.Stderr, "clipd:", err)
 		os.Exit(1)
 	}
@@ -71,7 +72,7 @@ func main() {
 
 func run(listen string, budget float64, nodes int, sigma float64, policyName string,
 	realloc bool, timescale float64, queueDepth int, reqTimeout time.Duration,
-	faultSpec, teleOut string, pprof bool) error {
+	faultSpec, teleOut string, pprof, preempt bool) error {
 	policy, err := parsePolicy(policyName)
 	if err != nil {
 		return err
@@ -89,6 +90,7 @@ func run(listen string, budget float64, nodes int, sigma float64, policyName str
 	}
 	sched, err := jobsched.New(cl, clip, jobsched.Config{
 		Bound: budget, Policy: policy, Reallocate: realloc, Faults: sc,
+		Preempt: preempt,
 	})
 	if err != nil {
 		return err

@@ -69,6 +69,8 @@ type options struct {
 	quantum        float64
 	shardFaults    string
 	shardFaultSeed uint64
+	hipriFrac      float64
+	hipri          int
 	teleOut        string
 	// notify arms the signal handler (disabled under tests).
 	notify bool
@@ -92,6 +94,8 @@ func main() {
 	flag.Float64Var(&o.quantum, "quantum", 60, "watts moved per lease")
 	flag.StringVar(&o.shardFaults, "shard-faults", "", "shard-fault scenario spec, e.g. crash-mtbf=400,mttr=120,part-mtbf=600 (empty = no shard faults)")
 	flag.Uint64Var(&o.shardFaultSeed, "shard-fault-seed", 0, "override the shard-fault scenario seed (0 = use the spec's seed)")
+	flag.Float64Var(&o.hipriFrac, "hipri-frac", 0, "fraction of trace jobs submitted at high priority (enables preemption)")
+	flag.IntVar(&o.hipri, "hipri", 10, "priority value for high-priority trace jobs")
 	flag.StringVar(&o.teleOut, "telemetry-out", "", "write a telemetry report (JSON) here after the run")
 	flag.Parse()
 	o.notify = true
@@ -135,7 +139,7 @@ func run(w io.Writer, o options) error {
 	for i := 0; i < o.shards; i++ {
 		cfg.Shards = append(cfg.Shards, fed.ShardConfig{
 			Nodes: o.nodes, BudgetW: o.budget, Sigma: o.sigma, Seed: int64(1000 + i),
-			Policy: policy, Reallocate: true,
+			Policy: policy, Reallocate: true, Preempt: o.hipriFrac > 0,
 		})
 	}
 	f, err := fed.New(cfg)
@@ -147,11 +151,19 @@ func run(w io.Writer, o options) error {
 	// standard workload suite, ids doubling as locality keys.
 	mix := workload.Suite()
 	r := rng.New(o.seed)
+	// Priority picks come from their own stream, consulted only with
+	// -hipri-frac set, so the arrival trace (times, apps, ids) stays
+	// byte-identical to a run without the flag.
+	pr := rng.New(o.seed + 0x9e3779b97f4a7c15)
 	now := 0.0
 	for i := 0; i < o.jobs; i++ {
 		now += r.Range(0, 2*o.meanGap)
 		id := fmt.Sprintf("job-%05d", i)
-		if err := f.ScheduleArrival(now, id, mix[r.Intn(len(mix))], id); err != nil {
+		pri := 0
+		if o.hipriFrac > 0 && pr.Float64() < o.hipriFrac {
+			pri = o.hipri
+		}
+		if err := f.ScheduleArrivalPri(now, id, mix[r.Intn(len(mix))], id, pri); err != nil {
 			return err
 		}
 	}
@@ -182,7 +194,7 @@ func run(w io.Writer, o options) error {
 	}
 	wall := time.Since(start)
 
-	report(w, f, o.shards, o.lend)
+	report(w, f, o.shards, o.lend, o.hipriFrac > 0)
 	// Wall-clock throughput is nondeterministic; keep it off stdout so
 	// repeat runs stay byte-identical. The second line is the
 	// machine-readable row scripts/bench.sh lifts into BENCH_results.json.
@@ -200,7 +212,7 @@ func run(w io.Writer, o options) error {
 }
 
 // report renders the deterministic end-of-run summary.
-func report(w io.Writer, f *fed.Federation, shards int, lend bool) {
+func report(w io.Writer, f *fed.Federation, shards int, lend, hipri bool) {
 	chaos := f.ShardFaultsArmed()
 	fmt.Fprintf(w, "clipfed: %d shards, routing %s, lending %s\n",
 		shards, routingString(f), onOff(lend))
@@ -265,6 +277,20 @@ func report(w io.Writer, f *fed.Federation, shards int, lend bool) {
 			downs, parts, f.Evacuated())
 		fmt.Fprintf(w, "orphan reclaim: %d leases orphaned, %d reclaimed (%d forced), %d outstanding\n",
 			orphaned, reclaims, forced, len(f.OrphanedLeases()))
+	}
+
+	if hipri {
+		pjobs, ptimes := 0, 0
+		for _, sh := range f.Shards() {
+			for _, js := range sh.Online.Jobs() {
+				if js.Preemptions > 0 {
+					pjobs++
+					ptimes += js.Preemptions
+				}
+			}
+		}
+		fmt.Fprintf(w, "preemptions: %d jobs evicted %d times for higher-priority work\n",
+			pjobs, ptimes)
 	}
 
 	audits, violations := f.AuditStats()

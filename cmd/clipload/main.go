@@ -43,6 +43,8 @@ func main() {
 	cancelFrac := flag.Float64("cancel", 0, "fraction of accepted jobs to cancel right after submit")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
 	batch := flag.Int("batch", 1, "jobs per request; >1 uses POST /v1/jobs:batch (offered job rate stays -rps)")
+	hipriFrac := flag.Float64("hipri-frac", 0, "fraction of jobs submitted at high priority")
+	hipri := flag.Int("hipri", 10, "priority value for high-priority jobs")
 	flag.Parse()
 
 	if *rps <= 0 || *duration <= 0 {
@@ -58,6 +60,15 @@ func main() {
 	client := &http.Client{Timeout: *timeout}
 
 	rng := rand.New(rand.NewSource(*seed))
+	// Priority picks come from their own stream so -hipri-frac=0 offers
+	// a request stream byte-identical to builds without the flag.
+	prng := rand.New(rand.NewSource(*seed + 1))
+	pickPri := func() int {
+		if *hipriFrac > 0 && prng.Float64() < *hipriFrac {
+			return *hipri
+		}
+		return 0
+	}
 	// With batching, each tick carries -batch jobs: the tick rate drops
 	// so the offered job rate stays at -rps.
 	interval := time.Duration(float64(*batch) * float64(time.Second) / *rps)
@@ -72,6 +83,7 @@ func main() {
 		errs      int
 		cancels   int
 	)
+	hiSent := 0
 	var wg sync.WaitGroup
 	// In-flight bound: past it requests are counted as errors rather
 	// than piling up goroutines against a wedged daemon.
@@ -91,9 +103,13 @@ loop:
 			for i := range entries {
 				sent++
 				entries[i] = submitEntry{
-					ID:     fmt.Sprintf("load-%d", sent),
-					App:    names[rng.Intn(len(names))],
-					cancel: rng.Float64() < *cancelFrac,
+					ID:       fmt.Sprintf("load-%d", sent),
+					App:      names[rng.Intn(len(names))],
+					Priority: pickPri(),
+					cancel:   rng.Float64() < *cancelFrac,
+				}
+				if entries[i].Priority != 0 {
+					hiSent++
 				}
 			}
 			select {
@@ -115,6 +131,10 @@ loop:
 		sent++
 		id := fmt.Sprintf("load-%d", sent)
 		app := names[rng.Intn(len(names))]
+		pri := pickPri()
+		if pri != 0 {
+			hiSent++
+		}
 		doCancel := rng.Float64() < *cancelFrac
 		select {
 		case inflight <- struct{}{}:
@@ -128,7 +148,11 @@ loop:
 		go func() {
 			defer wg.Done()
 			defer func() { <-inflight }()
-			body, _ := json.Marshal(map[string]string{"id": id, "app": app})
+			req := map[string]any{"id": id, "app": app}
+			if pri != 0 {
+				req["priority"] = pri
+			}
+			body, _ := json.Marshal(req)
 			t0 := time.Now()
 			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 			lat := time.Since(t0).Seconds()
@@ -183,6 +207,9 @@ loop:
 	fmt.Printf("  rejected  %d (429/503 backpressure)\n", rej)
 	fmt.Printf("  errors    %d\n", errs)
 	fmt.Printf("  cancelled %d\n", cancels)
+	if *hipriFrac > 0 {
+		fmt.Printf("  high-pri  %d (priority %d)\n", hiSent, *hipri)
+	}
 	fmt.Printf("  submit latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
 	fmt.Printf("clipload target_rps=%.0f batch=%d sent=%d ok=%d rejected=%d errors=%d cancelled=%d "+
@@ -199,9 +226,10 @@ loop:
 // submitEntry is one job of a batch request plus its cancel decision
 // (drawn up front so the stream stays deterministic for a given seed).
 type submitEntry struct {
-	ID     string `json:"id"`
-	App    string `json:"app"`
-	cancel bool
+	ID       string `json:"id"`
+	App      string `json:"app"`
+	Priority int    `json:"priority,omitempty"`
+	cancel   bool
 }
 
 // batchEntryResult mirrors the server's per-entry batch response.

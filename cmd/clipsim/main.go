@@ -29,6 +29,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/jobsched"
 	"repro/internal/plan"
+	"repro/internal/rng"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -46,6 +47,8 @@ func main() {
 	teleOut := flag.String("telemetry-out", "", "write an end-of-run telemetry report (JSON) to this file")
 	faultSpec := flag.String("faults", "", "fault-injection scenario as key=value pairs, e.g. \"crash-mtbf=60,mttr=20,seed=7\" (switches to the multi-job chaos mode)")
 	faultJobs := flag.Int("fault-jobs", 6, "number of staggered copies of -app submitted in -faults mode")
+	hipriFrac := flag.Float64("hipri-frac", 0, "fraction of -fault-jobs submitted at high priority (enables preemption)")
+	hipri := flag.Int("hipri", 10, "priority value for high-priority jobs")
 	flag.Parse()
 
 	if *teleAddr != "" {
@@ -74,7 +77,7 @@ func main() {
 	cl := hw.NewCluster(*nodes, hw.HaswellSpec(), *sigma, 42)
 
 	if *faultSpec != "" {
-		if err := runFaults(cl, app, *budget, *faultSpec, *faultJobs); err != nil {
+		if err := runFaults(cl, app, *budget, *faultSpec, *faultJobs, *hipriFrac, *hipri); err != nil {
 			fatal(err)
 		}
 		return
@@ -113,7 +116,8 @@ func main() {
 // report the fault timeline, per-job outcomes and the degradation
 // against a fault-free control of the same stream. The run fails (exit
 // status 1) if the power bound was exceeded at any event.
-func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, njobs int) error {
+func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, njobs int,
+	hipriFrac float64, hipri int) error {
 	sc, err := faults.Parse(spec)
 	if err != nil {
 		return err
@@ -122,8 +126,18 @@ func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, 
 		return fmt.Errorf("clipsim: -fault-jobs must be at least 1, got %d", njobs)
 	}
 	jobs := make([]jobsched.Job, njobs)
+	// Priority picks come from a seeded stream of their own, consulted
+	// only with -hipri-frac set, so the default stream and its output
+	// stay byte-identical to runs without the flag.
+	pr := rng.New(9)
+	nhigh := 0
 	for i := range jobs {
-		jobs[i] = jobsched.Job{ID: fmt.Sprintf("j%02d", i), App: app, Arrival: float64(i) * 5}
+		pri := 0
+		if hipriFrac > 0 && pr.Float64() < hipriFrac {
+			pri = hipri
+			nhigh++
+		}
+		jobs[i] = jobsched.Job{ID: fmt.Sprintf("j%02d", i), App: app, Arrival: float64(i) * 5, Priority: pri}
 	}
 	run := func(sc *faults.Scenario) (*jobsched.Stats, error) {
 		clip, err := core.New(cl)
@@ -131,7 +145,8 @@ func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, 
 			return nil, err
 		}
 		s, err := jobsched.New(cl, clip, jobsched.Config{Bound: budget,
-			Policy: jobsched.AggressiveBackfill, Reallocate: true, Faults: sc})
+			Policy: jobsched.AggressiveBackfill, Reallocate: true, Faults: sc,
+			Preempt: hipriFrac > 0})
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +192,17 @@ func runFaults(cl *hw.Cluster, app *workload.Spec, budget float64, spec string, 
 		st.Faults.Injected, st.Faults.Crashes, st.Faults.Excursions, st.Faults.Stragglers)
 	fmt.Printf("retries: %d  migrations: %d  failed jobs: %d  power reclaimed: %.1f W\n",
 		st.Faults.Retries, st.Faults.Migrations, len(st.Failed), st.Faults.WattsReclaimed)
+	if hipriFrac > 0 {
+		fmt.Printf("priority mix: %d high (priority %d), %d normal\n", nhigh, hipri, njobs-nhigh)
+		fmt.Printf("preempted: %d evictions of lower-priority jobs, every victim re-enqueued\n",
+			st.Preemptions)
+		lost := njobs - len(st.Jobs) - len(st.Failed)
+		fmt.Printf("job accounting: %d submitted = %d finished + %d failed (%d lost)\n",
+			njobs, len(st.Jobs), len(st.Failed), lost)
+		if lost != 0 {
+			return fmt.Errorf("clipsim: %d jobs lost", lost)
+		}
+	}
 	if st.PeakAllocW > budget+1e-6 {
 		fmt.Printf("bound-invariant: VIOLATED (peak allocation %.1f/%.0f W)\n", st.PeakAllocW, budget)
 		return fmt.Errorf("peak allocation %.3f W exceeded the %.0f W bound", st.PeakAllocW, budget)

@@ -111,6 +111,15 @@ type Coordinator struct {
 	// for such nodes are reduced via power.DerateBudget after the uniform
 	// or variability-aware split. A nil map applies no derating.
 	NodeDerate map[int]float64
+	// Ranked makes pickNodes honour the caller's node order instead of
+	// re-ranking by PowerEff: the scheduler's feasibility/scoring stage
+	// sets it when a workload's affinity preferences already fixed the
+	// order of the (restricted) cluster view.
+	Ranked bool
+	// Quiet suppresses telemetry publication (gauges and rebalance
+	// events) for what-if placements, such as the scheduler's preemption
+	// planner probing hypothetical resource pools.
+	Quiet bool
 }
 
 // threshold returns the effective variability threshold.
@@ -334,7 +343,9 @@ func (c *Coordinator) Place(app *workload.Spec, prof *profile.Profile, pd *perfm
 	out.PredTime = best.pred
 	out.Coordinated = coordinated
 	out.PhaseCores = sc.phasePlan(app, prof, best.cfg.Cores)
-	c.publish(sc, app.Name, bound, ids, budgets, coordinated)
+	if !c.Quiet {
+		c.publish(sc, app.Name, bound, ids, budgets, coordinated)
+	}
 	return nil
 }
 
@@ -415,6 +426,13 @@ func (c *Coordinator) pickNodes(sc *Scratch, n int) []int {
 			continue
 		}
 		ids = append(ids, i)
+	}
+	if c.Ranked {
+		// The caller pre-ranked the cluster view (workload affinity):
+		// take the first n available view positions in the given order.
+		ids = ids[:n]
+		sc.ids = ids
+		return ids
 	}
 	for i := 1; i < len(ids); i++ {
 		v := ids[i]

@@ -129,6 +129,9 @@ type ShardConfig struct {
 	Policy jobsched.Policy
 	// Reallocate enables POWsched-style power sharing inside the shard.
 	Reallocate bool
+	// Preempt enables priority preemption inside the shard: a blocked
+	// higher-priority job may evict running lower-priority jobs.
+	Preempt bool
 	// Faults optionally injects the shard's fault scenario.
 	Faults *faults.Scenario
 }
@@ -222,6 +225,7 @@ type fedArrival struct {
 	app *workload.Spec
 	key string  // locality key (Locality routing)
 	t   float64 // scheduled arrival time (partitioned replay)
+	pri int     // scheduling priority (0 inherits the app default)
 }
 
 // Federation drives N shards from one shared clock. Not safe for
@@ -331,7 +335,8 @@ func New(cfg Config) (*Federation, error) {
 		}
 		ent := sc.BudgetW * scale
 		s, err := jobsched.New(cl, clip, jobsched.Config{
-			Bound: ent, Policy: sc.Policy, Reallocate: sc.Reallocate, Faults: sc.Faults,
+			Bound: ent, Policy: sc.Policy, Reallocate: sc.Reallocate,
+			Preempt: sc.Preempt, Faults: sc.Faults,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fed: shard %d: %w", i, err)
@@ -412,6 +417,13 @@ func (f *Federation) HandleEvent(kind uint16, arg uint64) {
 // reaches t. Job ids must be unique federation-wide; key is the
 // locality key used by the Locality policy (the job id when empty).
 func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, key string) error {
+	return f.ScheduleArrivalPri(t, id, app, key, 0)
+}
+
+// ScheduleArrivalPri pre-schedules a job submission with an explicit
+// scheduling priority (0 inherits the application default); otherwise
+// identical to ScheduleArrival.
+func (f *Federation) ScheduleArrivalPri(t float64, id string, app *workload.Spec, key string, pri int) error {
 	if id == "" {
 		return fmt.Errorf("fed: empty job id")
 	}
@@ -422,7 +434,7 @@ func (f *Federation) ScheduleArrival(t float64, id string, app *workload.Spec, k
 		return fmt.Errorf("fed: duplicate job id %q", id)
 	}
 	f.jobShard[id] = -1 // reserved; set on routing
-	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key, t: t})
+	f.arrivals = append(f.arrivals, fedArrival{id: id, app: app, key: key, t: t, pri: pri})
 	_, err := f.eng.AtHandler(t, f, fevArrival, uint64(len(f.arrivals)-1))
 	if err == nil {
 		f.arrivalsLeft++
@@ -438,7 +450,7 @@ func (f *Federation) routeArrival(a fedArrival) {
 		f.fail(err)
 		return
 	}
-	if _, err := sh.Online.Submit(a.id, a.app); err != nil {
+	if _, err := sh.Online.SubmitPri(a.id, a.app, a.pri); err != nil {
 		f.fail(err)
 		return
 	}

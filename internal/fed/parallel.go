@@ -402,7 +402,7 @@ func (f *Federation) replayShard(sh *Shard, arrivals []fedArrival) {
 		if err = sh.Online.Advance(a.t); err != nil {
 			break
 		}
-		if _, err = sh.Online.Submit(a.id, a.app); err != nil {
+		if _, err = sh.Online.SubmitPri(a.id, a.app, a.pri); err != nil {
 			break
 		}
 	}

@@ -1,0 +1,130 @@
+package fed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/jobsched"
+	"repro/internal/rng"
+)
+
+// buildPriorityFed wires a preempting federation over a mixed-priority
+// trace: roughly a third of the jobs arrive at priority 5.
+func buildPriorityFed(t *testing.T, seed uint64, faults string) *Federation {
+	t.Helper()
+	shards := shardCfg(4, 4, 500, jobsched.AggressiveBackfill)
+	for i := range shards {
+		shards[i].Preempt = true
+	}
+	cfg := Config{
+		Shards:  shards,
+		Routing: LeastLoaded,
+		Lending: Lending{Enabled: true, TTL: 90, QuantumW: 50},
+	}
+	if faults != "" {
+		sc, err := ParseShardScenario(faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ShardFaults = sc
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := apps()
+	r := rng.New(seed)
+	pr := rng.New(seed + 7)
+	now := 0.0
+	for i := 0; i < 60; i++ {
+		now += r.Range(0, 16)
+		pri := 0
+		if pr.Float64() < 0.33 {
+			pri = 5
+		}
+		id := fmt.Sprintf("j%04d", i)
+		if err := f.ScheduleArrivalPri(now, id, mix[i%len(mix)], id, pri); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestPriorityParallelByteIdentity: with preemption live on every
+// shard, the parallel executor must still reproduce the serial run byte
+// for byte — including which jobs were evicted and when they restarted.
+func TestPriorityParallelByteIdentity(t *testing.T) {
+	for _, faults := range []string{"", "crash-mtbf=900,mttr=200,seed=3"} {
+		for _, seed := range []uint64{11, 42} {
+			f := buildPriorityFed(t, seed, faults)
+			if err := f.Run(); err != nil {
+				t.Fatalf("serial seed=%d faults=%q: %v", seed, faults, err)
+			}
+			want := renderRun(f)
+			preempted := 0
+			for _, js := range f.Jobs() {
+				preempted += js.Preemptions
+			}
+			for _, workers := range []int{2, 4} {
+				g := buildPriorityFed(t, seed, faults)
+				if err := g.RunParallel(workers); err != nil {
+					t.Fatalf("parallel(%d) seed=%d faults=%q: %v", workers, seed, faults, err)
+				}
+				if got := renderRun(g); got != want {
+					t.Fatalf("parallel(%d) seed=%d faults=%q diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+						workers, seed, faults, want, got)
+				}
+			}
+			if audits, violations := f.AuditStats(); violations != 0 || audits == 0 {
+				t.Fatalf("seed=%d faults=%q: audits=%d violations=%d", seed, faults, audits, violations)
+			}
+			if faults == "" && seed == 11 && preempted == 0 {
+				t.Log("priority trace produced no preemptions; consider retuning the trace")
+			}
+		}
+	}
+}
+
+// TestFedPriorityRouting: a high-priority arrival routed to a saturated
+// shard preempts there rather than waiting out the backlog.
+func TestFedPriorityRouting(t *testing.T) {
+	shards := shardCfg(2, 4, 500, jobsched.AggressiveBackfill)
+	for i := range shards {
+		shards[i].Preempt = true
+	}
+	f, err := New(Config{Shards: shards, Routing: Locality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := apps()
+	// Saturate shard 0 via locality key, then land a high-priority job
+	// on the same shard.
+	for i := 0; i < 6; i++ {
+		if err := f.ScheduleArrival(float64(i), fmt.Sprintf("lo%d", i), mix[0], "k0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.ScheduleArrivalPri(6.5, "hi", mix[0], "k0", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var hiStart, hiArrival float64
+	evictions := 0
+	for _, js := range f.Jobs() {
+		if js.ID == "hi" {
+			hiStart, hiArrival = js.Start, js.Arrival
+			if js.State != jobsched.JobCompleted {
+				t.Fatalf("hi state = %v, want completed", js.State)
+			}
+		}
+		evictions += js.Preemptions
+	}
+	if evictions == 0 {
+		t.Fatal("saturated shard produced no preemptions for the high-priority arrival")
+	}
+	if hiStart > hiArrival+1e-9 {
+		t.Fatalf("hi waited: start %.3f vs arrival %.3f despite preemption", hiStart, hiArrival)
+	}
+}

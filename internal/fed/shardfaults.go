@@ -595,6 +595,18 @@ func (f *Federation) handleShardRejoin(id int) {
 	}
 	gShardsUnhealthy.Set(float64(f.sfaults.unhealthy))
 	f.settleShardOrphans(id)
+	// Reconcile the rejoined shard at the shared clock: recovered
+	// capacity is re-covered by one bounded dispatch/preemption pass
+	// instead of waiting for the shard's next organic scheduler event.
+	// The handler fires identically in the serial and parallel
+	// executors, so replay output stays byte-identical.
+	sh := f.shards[id]
+	f.touch(sh)
+	if err := sh.Online.Advance(f.now); err != nil {
+		f.fail(err)
+	} else if err := sh.Online.Reconcile(); err != nil {
+		f.fail(err)
+	}
 	if !f.sfStopped {
 		if err := f.scheduleNextCrash(id); err != nil {
 			f.fail(err)
@@ -670,7 +682,7 @@ func (f *Federation) evacuateShard(id int) {
 			f.fail(err)
 			return
 		}
-		if _, err := dst.Online.Submit(j.ID, j.App); err != nil {
+		if _, err := dst.Online.SubmitPri(j.ID, j.App, j.Priority); err != nil {
 			f.fail(err)
 			return
 		}

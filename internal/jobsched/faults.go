@@ -315,12 +315,7 @@ func (st *schedState) nodeCrash(i int) {
 	} else {
 		st.scheduleFault(st.inj.RecoveryDelay(i), evkRecover, func() { st.nodeRecover(i) })
 	}
-	st.dispatch()
-	if st.s.Config.Reallocate {
-		st.reallocate()
-	}
-	st.assertBound("crash")
-	st.publishState()
+	st.reconcile("crash", st.s.Config.Reallocate)
 }
 
 // nodeRecover returns a quarantined node to service.
@@ -333,9 +328,7 @@ func (st *schedState) nodeRecover(i int) {
 	st.logFault("recover", i, "", 0, "")
 	st.syncNode(i)
 	st.scheduleNextCrash(i)
-	st.dispatch()
-	st.assertBound("recover")
-	st.publishState()
+	st.reconcile("recover", false)
 }
 
 // killJob removes a running job from the cluster (crash or infeasible
@@ -463,12 +456,7 @@ func (st *schedState) excursionStart(i int, frac, dur float64) {
 		st.syncNode(i)
 	}
 	st.scheduleFault(dur, evkExcursionEnd, func() { st.excursionEnd(i) })
-	st.dispatch()
-	if st.s.Config.Reallocate {
-		st.reallocate()
-	}
-	st.assertBound("excursion")
-	st.publishState()
+	st.reconcile("excursion", st.s.Config.Reallocate)
 }
 
 // recapJob derates a running job's uniform per-node budget by frac
@@ -532,12 +520,7 @@ func (st *schedState) excursionEnd(i int) {
 	st.logFault("excursion-end", i, "", 0, "")
 	st.syncNode(i)
 	st.scheduleNextExcursion(i)
-	st.dispatch()
-	if st.s.Config.Reallocate {
-		st.reallocate()
-	}
-	st.assertBound("excursion-end")
-	st.publishState()
+	st.reconcile("excursion-end", st.s.Config.Reallocate)
 }
 
 // --- stragglers ---------------------------------------------------------

@@ -77,6 +77,11 @@ type Job struct {
 	App *workload.Spec
 	// Arrival is the submission time in seconds.
 	Arrival float64
+	// Priority orders dispatch: higher values are scanned first and,
+	// when Config.Preempt is set, may evict running lower-priority
+	// jobs. Zero inherits the application's default priority; all-zero
+	// runs take the exact legacy FIFO paths.
+	Priority int
 }
 
 // Policy selects the queueing discipline.
@@ -127,6 +132,12 @@ type Config struct {
 	// allocation and can be re-boosted when it recovers (requires
 	// Reallocate for the recovery direction).
 	BoundSchedule []BoundChange
+	// Preempt enables power-aware preemption: when a higher-priority
+	// queued job cannot be placed within the bound, the cheapest set of
+	// strictly-lower-priority running jobs whose reclaimed watts (and
+	// nodes) make it feasible is evicted and re-enqueued. It has no
+	// effect while every job carries the same priority.
+	Preempt bool
 	// Faults, when non-nil and enabled, injects the scenario's node
 	// crashes, power-cap excursions and straggler episodes into the run
 	// and activates degraded-mode scheduling: affected jobs are killed
@@ -161,6 +172,12 @@ type JobResult struct {
 	// Retries counts how many times the job was killed by a fault and
 	// re-enqueued before this successful run.
 	Retries int
+	// Priority is the job's effective scheduling priority (submission
+	// override or the application default).
+	Priority int
+	// Preemptions counts how many times the job was evicted for a
+	// higher-priority job and re-enqueued before this successful run.
+	Preemptions int
 }
 
 // Wait returns the queueing delay.
@@ -192,6 +209,9 @@ type Stats struct {
 	// any event timestamp; the bound invariant keeps it at or below the
 	// bound or the run fails.
 	PeakAllocW float64
+	// Preemptions counts evictions of running lower-priority jobs in
+	// favour of a blocked higher-priority job.
+	Preemptions int
 	// idArena backs the NodeIDs slices of terminal snapshots: one
 	// growable block owned by the run's Stats instead of one allocation
 	// per finished job. Growth reallocations leave earlier snapshots
@@ -372,6 +392,25 @@ type schedState struct {
 	freeSubVer uint64
 	shadow     float64
 	shadowOK   bool
+	// priority pipeline state. anyPri is sticky per run: it flips the
+	// dispatch scan to priority order and arms preemption; all-zero
+	// priority runs never leave the legacy FIFO paths. scanIdx is the
+	// priority-ordered scan scratch; feasIDs/feasSub back the
+	// constraint-filtered cluster view; the pre* scratch set backs
+	// preemption planning so a plan never clobbers the freeVer-cached
+	// free view or the shared coordinator scratch; preempts counts
+	// evictions per job id (nil until the first preemption).
+	anyPri     bool
+	scanIdx    []int
+	feasIDs    []int
+	feasSub    *hw.Cluster
+	preIDs     []int
+	preSub     *hw.Cluster
+	preSc      coordinator.Scratch
+	prePl      coordinator.Placement
+	preCoord   coordinator.Coordinator
+	preVictims []*runningJob
+	preempts   map[string]int
 	// power-use integral
 	lastAccount  float64
 	usedIntegral float64
@@ -490,6 +529,9 @@ func (st *schedState) reset(online bool) {
 	st.coord = coordinator.Coordinator{}
 	st.freeVer++
 	st.shadow, st.shadowOK = 0, false
+	st.anyPri = false
+	st.preVictims = st.preVictims[:0]
+	st.preempts = nil
 	st.lastAccount, st.usedIntegral = 0, 0
 	st.failure = nil
 	st.online = online
@@ -612,6 +654,17 @@ func (st *schedState) arrive(j Job) {
 		st.publishState()
 		return
 	}
+	if j.Priority == 0 {
+		j.Priority = j.App.Priority
+	}
+	if j.Priority != 0 {
+		st.anyPri = true
+	}
+	if !j.App.Constraint.Zero() && !st.constraintSatisfiable(j.App) {
+		st.failJob(j, "node constraint matches no cluster node")
+		st.publishState()
+		return
+	}
 	st.queue = append(st.queue, queueEntry{job: j})
 	st.qlive++
 	gQueuePeak.SetMax(float64(st.qlive))
@@ -621,45 +674,121 @@ func (st *schedState) arrive(j Job) {
 }
 
 // dispatch starts as many queued jobs as the policy and resources
-// allow. Started entries are tombstoned in place and skipped, so a
-// scan only visits live entries; each successful start rescans from
-// the head (a backfill tightens the shadow window for later
-// candidates).
+// allow, running the placement stage to a fixpoint. When a scan makes
+// no progress and priorities are in play, one preemption pass may
+// evict lower-priority running jobs to admit the blocked head; the
+// freed resources are consumed by the rescan that follows.
 func (st *schedState) dispatch() {
 	progress := true
 	for progress {
-		progress = false
-		head := true // next live entry is the queue head
-		for qi := st.qhead; qi < len(st.queue); qi++ {
-			e := &st.queue[qi]
-			if e.started {
-				continue
-			}
-			if !head && st.s.Config.Policy == FCFS {
-				break // head of queue blocks
-			}
-			// The head may start whenever it fits. A backfilled job
-			// must finish before the next resource release (shadow
-			// time), so the head's earliest start is never delayed.
-			deadline := math.Inf(1)
-			if !head && st.s.Config.Policy == Backfill {
-				deadline = st.shadowTime()
-			}
-			if st.tryStart(e.job, deadline) {
-				mJobsStarted.Inc()
-				e.started = true
-				st.qlive--
-				progress = true
-				break
-			}
-			head = false
-		}
+		progress = st.dispatchPass()
 		st.compactQueue()
+		if !progress && st.anyPri && st.s.Config.Preempt {
+			progress = st.preemptPass()
+		}
 	}
 	// Queue/free-watts telemetry is published by the event handlers via
 	// publishState — one atomic ring snapshot per event instead of
 	// piecemeal gauge stores that a concurrent reader could observe
 	// torn.
+}
+
+// dispatchPass runs one scan over the live queue entries and starts at
+// most one job (a start invalidates the shadow window and resource
+// state, so the caller rescans). Started entries are tombstoned in
+// place and skipped, so a scan only visits live entries. Without
+// priorities the scan is the legacy index-order walk; with priorities
+// it follows scanOrder (priority descending, arrival order within a
+// priority level).
+func (st *schedState) dispatchPass() bool {
+	if st.anyPri {
+		return st.dispatchPassPri()
+	}
+	head := true // next live entry is the queue head
+	for qi := st.qhead; qi < len(st.queue); qi++ {
+		e := &st.queue[qi]
+		if e.started {
+			continue
+		}
+		if !head && st.s.Config.Policy == FCFS {
+			break // head of queue blocks
+		}
+		// The head may start whenever it fits. A backfilled job
+		// must finish before the next resource release (shadow
+		// time), so the head's earliest start is never delayed.
+		deadline := math.Inf(1)
+		if !head && st.s.Config.Policy == Backfill {
+			deadline = st.shadowTime()
+		}
+		if st.tryStart(e.job, deadline) {
+			mJobsStarted.Inc()
+			e.started = true
+			st.qlive--
+			return true
+		}
+		head = false
+	}
+	return false
+}
+
+// dispatchPassPri is the priority-aware scan: candidates are visited
+// in (priority descending, index ascending) order, so the dispatch
+// head is always a highest-priority job and a lower-priority job only
+// starts after every higher-priority candidate was offered the
+// resources first — no priority inversion at dispatch, asserted via
+// the scan order's monotonicity.
+func (st *schedState) dispatchPassPri() bool {
+	order := st.scanOrder()
+	head := true
+	for k, qi := range order {
+		e := &st.queue[qi]
+		if k > 0 && st.queue[order[k-1]].job.Priority < e.job.Priority {
+			st.failure = fmt.Errorf("jobsched: priority inversion in dispatch order (%q before %q)",
+				st.queue[order[k-1]].job.ID, e.job.ID)
+			return false
+		}
+		if !head && st.s.Config.Policy == FCFS {
+			break // head of queue blocks
+		}
+		deadline := math.Inf(1)
+		if !head && st.s.Config.Policy == Backfill {
+			deadline = st.shadowTime()
+		}
+		if st.tryStart(e.job, deadline) {
+			mJobsStarted.Inc()
+			e.started = true
+			st.qlive--
+			return true
+		}
+		head = false
+	}
+	return false
+}
+
+// scanOrder fills the scan scratch with the live queue indices sorted
+// by (priority descending, index ascending) via a stable insertion
+// sort — small queues, no allocation, FIFO preserved within a
+// priority level.
+func (st *schedState) scanOrder() []int {
+	order := st.scanIdx[:0]
+	for qi := st.qhead; qi < len(st.queue); qi++ {
+		if st.queue[qi].started {
+			continue
+		}
+		order = append(order, qi)
+	}
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		p := st.queue[v].job.Priority
+		j := i - 1
+		for j >= 0 && st.queue[order[j]].job.Priority < p {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = v
+	}
+	st.scanIdx = order
+	return order
 }
 
 // compactQueue advances the head index past tombstones and reclaims the
@@ -750,6 +879,16 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 	if len(st.free) == 0 || st.freeW <= 0 {
 		return false
 	}
+	// Feasibility stage: the cluster view offered to the coordinator is
+	// the free set shrunk to the job's hard constraints (identical to
+	// the plain free view for unconstrained apps — the common case and
+	// the allocation-free hot path). The view is a pure function of the
+	// free set per application, so the (freeVer, wBits) cache stamp
+	// below stays sound.
+	view, pool, ranked := st.feasibleView(j.App)
+	if len(pool) == 0 {
+		return false
+	}
 	e := st.dcache[j.App]
 	if e == nil {
 		e = &dispatchEntry{}
@@ -764,8 +903,11 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 			st.failure = err
 			return false
 		}
-		st.coord.Cluster = st.freeCluster()
-		if err := st.coord.Place(j.App, prof, pd, st.freeW, &st.csc, &st.pl); err != nil {
+		st.coord.Cluster = view
+		st.coord.Ranked = ranked
+		err = st.coord.Place(j.App, prof, pd, st.freeW, &st.csc, &st.pl)
+		st.coord.Ranked = false
+		if err != nil {
 			return false // does not fit now; retry on the next completion
 		}
 		e.pl.copyFrom(&st.pl)
@@ -780,7 +922,7 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		return false
 	}
 	if e.state == entryPlaced {
-		res, err := sim.EvalTime(st.freeCluster(), j.App, sim.Config{
+		res, err := sim.EvalTime(view, j.App, sim.Config{
 			Nodes: len(e.pl.nodeIDs), NodeIDs: e.pl.nodeIDs,
 			CoresPerNode: e.pl.cores, Affinity: e.pl.affinity,
 			Capped: true, PerNode: e.pl.perNode, PhaseCores: e.pl.phaseCores,
@@ -797,11 +939,16 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 	}
 
 	// Map subcluster slots back to global node ids (the coordinator
-	// emits slots ascending, and the free list is ascending, so the
-	// globals arrive sorted for the free-list subtract/merge).
+	// emits slots ascending, and the plain free view is ascending, so
+	// the globals arrive sorted for the free-list subtract/merge; a
+	// ranked affinity view is ordered by preference instead, so its
+	// mapped globals need the explicit sort).
 	rj := st.acquireRecord()
 	for _, slot := range e.pl.nodeIDs {
-		rj.globalIDs = append(rj.globalIDs, st.free[slot])
+		rj.globalIDs = append(rj.globalIDs, pool[slot])
+	}
+	if ranked {
+		sortInts(rj.globalIDs)
 	}
 
 	st.accountPower()
@@ -814,6 +961,10 @@ func (st *schedState) tryStart(j Job, deadline float64) bool {
 		ID: j.ID, Arrival: j.Arrival, Start: now,
 		Nodes: len(rj.globalIDs), Cores: e.pl.cores,
 		PerNodeW: e.pl.perNode[0].Total(),
+		Priority: j.Priority,
+	}
+	if st.preempts != nil {
+		rj.result.Preemptions = st.preempts[j.ID]
 	}
 	rj.cores = e.pl.cores
 	rj.affinity = e.pl.affinity
@@ -1031,12 +1182,7 @@ func (st *schedState) applyBoundChange(watts float64) {
 	if st.freeW < -1e-9 {
 		st.shedPower()
 	}
-	st.dispatch()
-	if st.s.Config.Reallocate {
-		st.reallocate()
-	}
-	st.assertBound("bound-change")
-	st.publishState()
+	st.reconcile("bound-change", st.s.Config.Reallocate)
 }
 
 // shedPower shrinks running jobs' budgets proportionally until the

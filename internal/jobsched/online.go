@@ -98,6 +98,12 @@ type JobStatus struct {
 	EstFinish float64
 	// Retries counts fault-kill → re-enqueue transitions so far.
 	Retries int
+	// Priority is the job's effective scheduling priority (submission
+	// override or the application default).
+	Priority int
+	// Preemptions counts evictions in favour of a higher-priority job
+	// so far.
+	Preemptions int
 	// ReclaimedW is the power returned to the pool by a cancellation.
 	ReclaimedW float64
 	// Reason explains a failure.
@@ -261,6 +267,25 @@ func (o *Online) SetBound(watts float64) error {
 	return o.st.failure
 }
 
+// Reconcile runs one bounded reconciler pass at the current virtual
+// time: desired placement (dispatch plus preemption under priorities)
+// is converged against actual placement, surplus power is offered to
+// running jobs when reallocation is enabled, and the coverage and
+// Σ-bound invariants are asserted. The federation calls it after a
+// shard rejoins so recovered capacity is re-covered in one pass
+// instead of waiting for the next organic scheduler event. Events
+// already due fire first so the pass lands on a settled state.
+func (o *Online) Reconcile() error {
+	if o.st.failure != nil {
+		return o.st.failure
+	}
+	if err := o.st.eng.RunUntil(o.st.eng.Now(), 0); err != nil {
+		return err
+	}
+	o.st.reconcile("reconcile", o.st.s.Config.Reallocate)
+	return o.st.failure
+}
+
 // Bound returns the session's current cluster power bound in watts.
 func (o *Online) Bound() float64 { return o.st.bound }
 
@@ -291,6 +316,14 @@ func (o *Online) Advance(t float64) error {
 // (with its node set and budget) or queued. Job ids are unique for the
 // lifetime of the session.
 func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
+	return o.SubmitPri(id, app, 0)
+}
+
+// SubmitPri admits one job with an explicit scheduling priority;
+// priority 0 inherits the application's default. Higher priorities
+// dispatch first and, when Config.Preempt is enabled, may evict
+// running lower-priority jobs. Otherwise identical to Submit.
+func (o *Online) SubmitPri(id string, app *workload.Spec, pri int) (JobStatus, error) {
 	if id == "" {
 		return JobStatus{}, fmt.Errorf("jobsched: empty job id")
 	}
@@ -303,8 +336,11 @@ func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
 	if o.st.failure != nil {
 		return JobStatus{}, o.st.failure
 	}
+	if pri == 0 {
+		pri = app.Priority
+	}
 	now := o.st.eng.Now()
-	j := Job{ID: id, App: app, Arrival: now}
+	j := Job{ID: id, App: app, Arrival: now, Priority: pri}
 	o.jobs[id] = &jobRecord{job: j, state: JobQueued}
 	o.st.jobsLeft++
 	o.st.pendingArrival = j
@@ -326,6 +362,9 @@ func (o *Online) Submit(id string, app *workload.Spec) (JobStatus, error) {
 type Submission struct {
 	ID  string
 	App *workload.Spec
+	// Priority is the job's scheduling priority; 0 inherits the
+	// application default.
+	Priority int
 }
 
 // SubmitResult is one entry of SubmitBatch's response: the job's
@@ -346,7 +385,7 @@ type SubmitResult struct {
 func (o *Online) SubmitBatch(subs []Submission) []SubmitResult {
 	out := make([]SubmitResult, len(subs))
 	for i, sub := range subs {
-		out[i].Status, out[i].Err = o.Submit(sub.ID, sub.App)
+		out[i].Status, out[i].Err = o.SubmitPri(sub.ID, sub.App, sub.Priority)
 	}
 	return out
 }
@@ -357,7 +396,10 @@ func (o *Online) Status(id string) (JobStatus, error) {
 	if !ok {
 		return JobStatus{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
-	js := JobStatus{ID: id, Arrival: rec.job.Arrival, Retries: o.st.retries[id]}
+	js := JobStatus{
+		ID: id, Arrival: rec.job.Arrival, Retries: o.st.retries[id],
+		Priority: rec.job.Priority, Preemptions: o.st.preempts[id],
+	}
 	switch rec.state {
 	case JobCompleted:
 		js.State = JobCompleted
@@ -394,35 +436,73 @@ func (o *Online) Status(id string) (JobStatus, error) {
 		return js, nil
 	}
 	js.State = JobQueued
-	// Tail fast path: a job queried right after submission (every
-	// Submit returns through here) sits at the live tail of the queue,
-	// so its position is qlive-1 without walking the queue. Without
-	// this, sustained submission into a saturated cluster is quadratic
-	// in queue depth.
-	for qi := len(o.st.queue) - 1; qi >= o.st.qhead; qi-- {
-		e := &o.st.queue[qi]
-		if e.started {
-			continue
-		}
-		if e.job.ID == id {
-			js.QueuePos = o.st.qlive - 1
-			return js, nil
-		}
-		break
-	}
-	pos := 0
-	for qi := o.st.qhead; qi < len(o.st.queue); qi++ {
-		e := &o.st.queue[qi]
-		if e.started {
-			continue
-		}
-		if e.job.ID == id {
+	js.QueuePos = o.st.queuePos(id)
+	return js, nil
+}
+
+// queuePos returns a queued job's 0-based position in dispatch order:
+// positions are dense and gap-free across cancel tombstones, queue
+// compaction, evacuations and preemption re-enqueues. Without
+// priorities dispatch order is queue index order; with priorities it
+// is the scan order's (priority descending, index ascending) rank, so
+// a freshly preempted high-priority job at the physical tail still
+// reports the front of the line.
+func (st *schedState) queuePos(id string) int {
+	if !st.anyPri {
+		// Tail fast path: a job queried right after submission (every
+		// Submit returns through here) sits at the live tail of the
+		// queue, so its position is qlive-1 without walking the queue.
+		// Without this, sustained submission into a saturated cluster
+		// is quadratic in queue depth. Priority runs skip it: the live
+		// tail need not be last in dispatch order.
+		for qi := len(st.queue) - 1; qi >= st.qhead; qi-- {
+			e := &st.queue[qi]
+			if e.started {
+				continue
+			}
+			if e.job.ID == id {
+				return st.qlive - 1
+			}
 			break
 		}
-		pos++
+		pos := 0
+		for qi := st.qhead; qi < len(st.queue); qi++ {
+			e := &st.queue[qi]
+			if e.started {
+				continue
+			}
+			if e.job.ID == id {
+				break
+			}
+			pos++
+		}
+		return pos
 	}
-	js.QueuePos = pos
-	return js, nil
+	// Priority order: rank = live entries dispatched ahead of this one
+	// (strictly higher priority, or equal priority and earlier index).
+	self := -1
+	pri := 0
+	for qi := st.qhead; qi < len(st.queue); qi++ {
+		e := &st.queue[qi]
+		if !e.started && e.job.ID == id {
+			self, pri = qi, e.job.Priority
+			break
+		}
+	}
+	if self < 0 {
+		return 0
+	}
+	pos := 0
+	for qi := st.qhead; qi < len(st.queue); qi++ {
+		e := &st.queue[qi]
+		if e.started || qi == self {
+			continue
+		}
+		if e.job.Priority > pri || (e.job.Priority == pri && qi < self) {
+			pos++
+		}
+	}
+	return pos
 }
 
 // Jobs lists every submitted job's status, ordered by id.
@@ -535,6 +615,7 @@ func (o *Online) EvacuateQueued() []Job {
 		st.qlive--
 		delete(o.jobs, e.job.ID)
 		delete(st.retries, e.job.ID)
+		delete(st.preempts, e.job.ID)
 		st.jobDone()
 	}
 	st.compactQueue()

@@ -1,0 +1,348 @@
+package jobsched
+
+// Scheduler pipeline stages beyond plain dispatch: the feasibility
+// filter and affinity ranking that shrink and order the cluster view
+// offered to the coordinator, power-aware preemption (evict the
+// cheapest set of strictly-lower-priority running jobs whose reclaimed
+// watts and nodes admit a blocked higher-priority job), and the
+// bounded reconciler that converges desired-versus-actual placement
+// after node-health or bound changes instead of patching event by
+// event. All of it is gated so that runs without priorities or
+// constraints take the exact legacy code paths.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/coordinator"
+	"repro/internal/hw"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Telemetry handles of the priority pipeline.
+var (
+	mJobsPreempted = telemetry.Default.Counter("clip_jobs_preempted_total",
+		"running jobs evicted and re-enqueued in favour of a higher-priority job")
+	gPreemptWatts = telemetry.Default.Gauge("clip_preempt_watts_reclaimed_total",
+		"cumulative watts reclaimed from preempted jobs")
+	mReconcilePasses = telemetry.Default.Counter("clip_reconcile_passes_total",
+		"reconciler convergence passes after node-health or bound changes")
+)
+
+// sortInts is an allocation-free insertion sort for small node-id
+// slices (ranked placements emit globals out of order).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}
+
+// constraintSatisfiable reports whether any cluster node satisfies the
+// app's hard constraints, ignoring occupancy — a queued job may wait
+// for busy nodes, but a constraint no node can ever satisfy fails the
+// job at arrival instead of queueing it forever.
+func (st *schedState) constraintSatisfiable(app *workload.Spec) bool {
+	c := &app.Constraint
+	for i, n := range st.s.Cluster.Nodes {
+		if c.Allows(i, n.PowerEff) {
+			return true
+		}
+	}
+	return false
+}
+
+// rankLess orders feasible node ids for an affinity-ranked view:
+// preferred nodes first, then power efficiency ascending, node id as
+// the total tiebreak.
+func (st *schedState) rankLess(c *workload.NodeConstraint, a, b int) bool {
+	pa, pb := 1, 1
+	if c.Prefers(a) {
+		pa = 0
+	}
+	if c.Prefers(b) {
+		pb = 0
+	}
+	if pa != pb {
+		return pa < pb
+	}
+	ea, eb := st.s.Cluster.Nodes[a].PowerEff, st.s.Cluster.Nodes[b].PowerEff
+	if ea != eb {
+		return ea < eb
+	}
+	return a < b
+}
+
+// feasibleIDs filters pool (global node ids) through the app's hard
+// constraints into dst's storage and, when the app prefers nodes,
+// ranks the survivors (stable insertion sort — small pools, no
+// allocation at steady state). Reports whether the result is ranked.
+func (st *schedState) feasibleIDs(app *workload.Spec, pool, dst []int) ([]int, bool) {
+	c := &app.Constraint
+	ids := dst[:0]
+	for _, id := range pool {
+		if c.Allows(id, st.s.Cluster.Nodes[id].PowerEff) {
+			ids = append(ids, id)
+		}
+	}
+	ranked := len(c.PreferNodes) > 0
+	if ranked {
+		for i := 1; i < len(ids); i++ {
+			v := ids[i]
+			j := i - 1
+			for j >= 0 && st.rankLess(c, v, ids[j]) {
+				ids[j+1] = ids[j]
+				j--
+			}
+			ids[j+1] = v
+		}
+	}
+	return ids, ranked
+}
+
+// feasibleView is the pipeline's feasibility stage: the cluster view
+// and node pool offered to the coordinator for one job, which is the
+// plain free view for unconstrained apps (the allocation-free common
+// case) and the constraint-filtered, optionally affinity-ranked subset
+// otherwise. The view is a pure function of the free set per
+// application, so dispatch-cache entries stamped with (freeVer, wBits)
+// remain sound across repeated calls.
+func (st *schedState) feasibleView(app *workload.Spec) (*hw.Cluster, []int, bool) {
+	if app.Constraint.Zero() {
+		return st.freeCluster(), st.free, false
+	}
+	ids, ranked := st.feasibleIDs(app, st.free, st.feasIDs)
+	st.feasIDs = ids
+	if len(ids) == 0 {
+		return nil, ids, false
+	}
+	st.feasSub = fillSub(st.feasSub, st.s.Cluster, ids)
+	return st.feasSub, ids, ranked
+}
+
+// victimLess is the preemption cost order: lowest priority first, then
+// cheapest reclaimed watts, then job id — evicting in this order
+// yields the minimal-cost victim set for a greedy prefix scan.
+func victimLess(a, b *runningJob) bool {
+	if a.job.Priority != b.job.Priority {
+		return a.job.Priority < b.job.Priority
+	}
+	if a.powerUsed != b.powerUsed {
+		return a.powerUsed < b.powerUsed
+	}
+	return a.job.ID < b.job.ID
+}
+
+// preemptPass runs once per dispatch fixpoint when priorities are in
+// play and nothing could start: it picks the highest-priority blocked
+// job, plans the smallest prefix of the cost-ordered victim set whose
+// reclaimed watts and nodes make the job placeable, and commits the
+// evictions. The freed resources are consumed by the dispatch rescan
+// that follows (identical pool and watts, so the planned placement is
+// reproduced deterministically). Returns whether anything was evicted.
+func (st *schedState) preemptPass() bool {
+	if st.qlive == 0 || len(st.running) == 0 {
+		return false
+	}
+	order := st.scanOrder()
+	if len(order) == 0 {
+		return false
+	}
+	top := st.queue[order[0]].job
+	victims := st.preVictims[:0]
+	for _, rj := range st.running {
+		if rj.job.Priority < top.Priority {
+			victims = append(victims, rj)
+		}
+	}
+	st.preVictims = victims
+	if len(victims) == 0 {
+		return false
+	}
+	// Map iteration order is random; the full (priority, watts, id) key
+	// makes the sorted order deterministic regardless.
+	for i := 1; i < len(victims); i++ {
+		v := victims[i]
+		j := i - 1
+		for j >= 0 && victimLess(v, victims[j]) {
+			victims[j+1] = victims[j]
+			j--
+		}
+		victims[j+1] = v
+	}
+	k := st.planPreemption(top, victims)
+	if k == 0 {
+		return false
+	}
+	for i := 0; i < k; i++ {
+		st.preemptJob(victims[i], top.ID)
+	}
+	st.assertBound("preempt")
+	return true
+}
+
+// planPreemption finds the smallest k such that evicting the first k
+// cost-ordered victims makes top placeable within the bound, probing
+// hypothetical pools with the planner's own scratch (never the shared
+// dispatch scratch or cache) and a quiet coordinator. Returns 0 when
+// no prefix suffices. The probe replicates tryStart's admission gates
+// — constraint filter, placement, and the CapOK duty-cycling rule
+// against the post-eviction running count — so a committed plan is
+// guaranteed to start the job on the rescan.
+func (st *schedState) planPreemption(top Job, victims []*runningJob) int {
+	prof, pd, err := st.s.CLIP.Predictor(top.App)
+	if err != nil {
+		st.failure = err
+		return 0
+	}
+	candW := st.freeW
+	pool := append(st.preIDs[:0], st.free...)
+	for k := 1; k <= len(victims); k++ {
+		v := victims[k-1]
+		candW += v.powerUsed
+		for _, id := range v.globalIDs {
+			// Mirror releaseNodes: only placeable nodes rejoin the pool
+			// under fault injection.
+			if st.inj == nil || st.placeable(id) {
+				pool = append(pool, id)
+			}
+		}
+		sortInts(pool)
+		st.preIDs = pool
+		if candW <= 0 || len(pool) == 0 {
+			continue
+		}
+		ids, ranked := st.feasibleIDs(top.App, pool, st.feasIDs)
+		st.feasIDs = ids[:0]
+		if len(ids) == 0 {
+			continue
+		}
+		st.preSub = fillSub(st.preSub, st.s.Cluster, ids)
+		st.preCoord = coordinator.Coordinator{Cluster: st.preSub, Ranked: ranked, Quiet: true}
+		if err := st.preCoord.Place(top.App, prof, pd, candW, &st.preSc, &st.prePl); err != nil {
+			continue
+		}
+		if !st.prePl.NodeCfg.CapOK && len(st.running)-k > 0 {
+			continue
+		}
+		if len(st.running)-k < 0 {
+			st.failure = fmt.Errorf("jobsched: preemption plan evicts %d of %d running jobs", k, len(st.running))
+			return 0
+		}
+		return k
+	}
+	return 0
+}
+
+// preemptJob evicts one running job in favour of forID: its completion
+// is withdrawn, its watts reclaimed and nodes released, and the job is
+// re-enqueued at the tail exactly once — no backoff and no retry
+// accounting, because eviction is a scheduling decision, not a fault.
+// The caller must have verified the victim's priority is strictly
+// below the preemptor's.
+func (st *schedState) preemptJob(rj *runningJob, forID string) {
+	st.accountPower()
+	if rj.completion != nil {
+		rj.completion.Cancel()
+		rj.completion = nil
+	}
+	j := rj.job
+	delete(st.running, j.ID)
+	st.shadowOK = false
+	reclaimed := rj.powerUsed
+	st.freeW += reclaimed
+	mJobsPreempted.Inc()
+	gPreemptWatts.Add(reclaimed)
+	st.stats.Preemptions++
+	if st.preempts == nil {
+		st.preempts = make(map[string]int)
+	}
+	st.preempts[j.ID]++
+	st.releaseNodes(rj.globalIDs)
+	st.releaseRecord(rj) // rj must not be touched below this line
+	st.logFault("preempt", -1, j.ID, reclaimed, fmt.Sprintf("evicted for higher-priority %s", forID))
+	st.queue = append(st.queue, queueEntry{job: j})
+	st.qlive++
+	gQueuePeak.SetMax(float64(st.qlive))
+}
+
+// maxReconcilePasses bounds the reconciler's re-dispatch loop; a
+// coverage gap that survives this many fixpoints is irreducible and
+// fails the run instead of spinning.
+const maxReconcilePasses = 8
+
+// reconcile converges placement after a disruptive state change (node
+// crash or recovery, excursion, bound change, shard rejoin): it
+// re-runs the placement pipeline to a fixpoint, offers surplus to
+// running jobs when reallocation is enabled, and audits desired-
+// versus-actual coverage — a queued job the decision cache proves
+// startable under the current free set must have been started (the
+// SystemScheduler-style eventual-coverage property). A detected gap is
+// retried with bounded re-dispatch; only an irreducible gap fails the
+// run. The Σ-bound invariant is asserted and the post-event state
+// published exactly as the legacy per-handler sequences did.
+func (st *schedState) reconcile(where string, realloc bool) {
+	passes := 1
+	st.dispatch()
+	for st.uncovered() != "" && passes < maxReconcilePasses {
+		passes++
+		st.dispatch()
+	}
+	if realloc {
+		st.reallocate()
+	}
+	mReconcilePasses.Add(uint64(passes))
+	if id := st.uncovered(); id != "" && st.failure == nil {
+		st.failure = fmt.Errorf(
+			"jobsched: coverage violation after %s at t=%.3f: job %q is dispatchable but still queued",
+			where, st.eng.Now(), id)
+	}
+	st.assertBound(where)
+	st.publishState()
+}
+
+// uncovered returns the id of a queued job that the dispatch decision
+// cache proves startable right now, or "". After a dispatch fixpoint
+// the head of the scan order must not be provably startable — its
+// cache entry either went stale (the free set moved on), records
+// infeasibility, or is held by the CapOK duty-cycling gate; anything
+// else is a hole in dispatch.
+func (st *schedState) uncovered() string {
+	if st.qlive == 0 || st.failure != nil {
+		return ""
+	}
+	var j Job
+	if st.anyPri {
+		order := st.scanOrder()
+		if len(order) == 0 {
+			return ""
+		}
+		j = st.queue[order[0]].job
+	} else {
+		qi := st.qhead
+		for qi < len(st.queue) && st.queue[qi].started {
+			qi++
+		}
+		if qi >= len(st.queue) {
+			return ""
+		}
+		j = st.queue[qi].job
+	}
+	e := st.dcache[j.App]
+	if e == nil || e.freeVer != st.freeVer || e.wBits != math.Float64bits(st.freeW) {
+		return "" // no decision recorded for the current state
+	}
+	if e.state != entryEvaled {
+		return "" // infeasible, or never reached evaluation
+	}
+	if !e.pl.capOK && len(st.running) > 0 {
+		return "" // duty-cycling gate: waiting for more power
+	}
+	return j.ID
+}

@@ -162,6 +162,10 @@ func (e *enc) appendJob(js *jobsched.JobStatus) {
 		e.field("queue_pos")
 		e.appendInt(js.QueuePos)
 	}
+	if js.Priority != 0 {
+		e.field("priority")
+		e.appendInt(js.Priority)
+	}
 	if len(js.Nodes) != 0 {
 		e.field("nodes")
 		e.b = append(e.b, '[')
@@ -188,6 +192,10 @@ func (e *enc) appendJob(js *jobsched.JobStatus) {
 	if js.Retries != 0 {
 		e.field("retries")
 		e.appendInt(js.Retries)
+	}
+	if js.Preemptions != 0 {
+		e.field("preemptions")
+		e.appendInt(js.Preemptions)
 	}
 	if js.ReclaimedW != 0 {
 		e.field("reclaimed_watts")

@@ -59,6 +59,8 @@ func jobCases() []jobsched.JobStatus {
 			js.Cores = i
 			js.QueuePos = -i
 			js.Retries = i * 7
+			js.Priority = i - 3
+			js.Preemptions = i * 2
 		}
 		if i%3 == 0 {
 			js.Nodes = []int{} // len 0 must omit like nil

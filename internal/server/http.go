@@ -10,8 +10,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
 	httppprof "net/http/pprof"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/jobsched"
@@ -27,6 +30,10 @@ type SubmitRequest struct {
 	ID string `json:"id,omitempty"`
 	// App is the application name (workload.SuiteByName).
 	App string `json:"app"`
+	// Priority orders the job against the rest of the queue; higher
+	// dispatches first and may preempt lower. Zero inherits the
+	// application default.
+	Priority int `json:"priority,omitempty"`
 }
 
 // maxBatch bounds one POST /v1/jobs:batch body; bigger batches are
@@ -61,11 +68,13 @@ type JobJSON struct {
 	StartS   float64 `json:"start_s,omitempty"`
 	FinishS  float64 `json:"finish_s,omitempty"`
 	QueuePos int     `json:"queue_pos,omitempty"`
+	Priority int     `json:"priority,omitempty"`
 	Nodes    []int   `json:"nodes,omitempty"`
 	Cores    int     `json:"cores,omitempty"`
 	PerNodeW float64 `json:"per_node_watts,omitempty"`
 	EstEndS  float64 `json:"est_finish_s,omitempty"`
 	Retries  int     `json:"retries,omitempty"`
+	Preempts int     `json:"preemptions,omitempty"`
 	Reclaim  float64 `json:"reclaimed_watts,omitempty"`
 	Reason   string  `json:"reason,omitempty"`
 }
@@ -101,9 +110,11 @@ func jobJSON(js jobsched.JobStatus) JobJSON {
 	return JobJSON{
 		ID: js.ID, State: js.State.String(),
 		ArrivalS: js.Arrival, StartS: js.Start, FinishS: js.Finish,
-		QueuePos: js.QueuePos, Nodes: js.Nodes, Cores: js.Cores,
+		QueuePos: js.QueuePos, Priority: js.Priority,
+		Nodes: js.Nodes, Cores: js.Cores,
 		PerNodeW: js.PerNodeW, EstEndS: js.EstFinish,
-		Retries: js.Retries, Reclaim: js.ReclaimedW, Reason: js.Reason,
+		Retries: js.Retries, Preempts: js.Preemptions,
+		Reclaim: js.ReclaimedW, Reason: js.Reason,
 	}
 }
 
@@ -125,16 +136,26 @@ func clusterJSON(cs jobsched.ClusterState, draining bool) ClusterJSON {
 // failures (500).
 var errUnknownApp = errors.New("server: unknown application")
 
+// appCache interns resolved specs by name. The scheduler's dispatch
+// cache is keyed by *workload.Spec identity, so handing it a fresh
+// pointer per request would turn every HTTP submit into a cache miss;
+// interning keeps repeat submissions of the same app on the hot path.
+var appCache sync.Map // string → *workload.Spec
+
 // resolveApp looks an application up by suite name.
 func resolveApp(name string) (*workload.Spec, error) {
 	if name == "" {
 		return nil, errUnknownApp
 	}
+	if v, ok := appCache.Load(name); ok {
+		return v.(*workload.Spec), nil
+	}
 	spec, err := workload.SuiteByName(name)
 	if err != nil {
 		return nil, errUnknownApp
 	}
-	return spec, nil
+	v, _ := appCache.LoadOrStore(name, spec)
+	return v.(*workload.Spec), nil
 }
 
 // Handler returns the daemon's full route table, including the
@@ -206,16 +227,39 @@ func errCode(err error) int {
 	return http.StatusInternalServerError
 }
 
+// retryAfterHint converts admission backlog into a Retry-After value:
+// each waiting submission needs roughly one virtual second of scheduler
+// headway to clear, and virtual time advances Timescale× faster than
+// the wall clock, so the wall-clock wait scales with depth over
+// Timescale. Clamped to [1, 30]: zero would invite an immediate retry
+// storm, and anything past 30 reads as an outage rather than
+// backpressure.
+func retryAfterHint(waiting int, timescale float64) int {
+	if timescale <= 0 {
+		timescale = 1
+	}
+	secs := math.Ceil(float64(waiting+1) / timescale)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 30 {
+		return 30
+	}
+	return int(secs)
+}
+
 // writeErr maps a driver/server error to its HTTP status.
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterHint(s.adm.waiting(), s.opts.Timescale)))
 		s.mRejected.Inc()
 	case errors.Is(err, errDraining):
 		s.mRejected.Inc()
 	case errors.Is(err, errBusy):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After",
+			strconv.Itoa(retryAfterHint(s.adm.waiting(), s.opts.Timescale)))
 	}
 	writeJSON(w, errCode(err), ErrorJSON{Error: err.Error()})
 }
@@ -228,7 +272,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
-	js, err := s.submit(ctx, req.ID, req.App)
+	js, err := s.submit(ctx, req.ID, req.App, req.Priority)
 	if err != nil {
 		s.writeErr(w, err)
 		return

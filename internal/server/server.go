@@ -115,6 +115,7 @@ type Server struct {
 	mReqs       *telemetry.Counter
 	mRejected   *telemetry.Counter
 	mSubmits    *telemetry.Counter
+	mSubmitsPri map[string]*telemetry.Counter // by priority band
 	mCancels    *telemetry.Counter
 	gWaiting    *telemetry.Gauge
 	gVirtualNow *telemetry.Gauge
@@ -143,6 +144,12 @@ func New(sched *jobsched.Scheduler, opts Options) (*Server, error) {
 	s.mRejected = reg.Counter("clip_http_rejected_total",
 		"submissions rejected by admission control (429) or during drain (503)")
 	s.mSubmits = reg.Counter("clip_http_submits_total", "jobs admitted over HTTP")
+	s.mSubmitsPri = make(map[string]*telemetry.Counter, 3)
+	for _, band := range []string{"low", "normal", "high"} {
+		s.mSubmitsPri[band] = reg.Counter(
+			telemetry.Label("clip_http_submits_priority_total", "priority", band),
+			"jobs admitted over HTTP by priority band")
+	}
 	s.mCancels = reg.Counter("clip_http_cancels_total", "jobs cancelled over HTTP")
 	s.gWaiting = reg.Gauge("clip_http_submit_queue_depth",
 		"submissions currently waiting for the scheduler lock")
@@ -314,10 +321,21 @@ func (s *Server) Close(ctx context.Context) error {
 // errDraining rejects submissions once drain has begun.
 var errDraining = errors.New("server: draining, not admitting jobs")
 
+// priBucket maps a job priority to its telemetry band.
+func priBucket(pri int) string {
+	switch {
+	case pri < 0:
+		return "low"
+	case pri > 0:
+		return "high"
+	}
+	return "normal"
+}
+
 // submit admits one job through admission control: reserve a queue
 // slot (immediate 429 when QueueDepth submissions are already
 // waiting), then acquire the driver under the request deadline.
-func (s *Server) submit(ctx context.Context, id, app string) (jobsched.JobStatus, error) {
+func (s *Server) submit(ctx context.Context, id, app string, pri int) (jobsched.JobStatus, error) {
 	if s.draining.Load() {
 		return jobsched.JobStatus{}, errDraining
 	}
@@ -347,11 +365,12 @@ func (s *Server) submit(ctx context.Context, id, app string) (jobsched.JobStatus
 	if id == "" {
 		id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
 	}
-	js, err := s.drv.Submit(id, spec)
+	js, err := s.drv.SubmitPri(id, spec, pri)
 	if err != nil {
 		return jobsched.JobStatus{}, err
 	}
 	s.mSubmits.Inc()
+	s.mSubmitsPri[priBucket(js.Priority)].Inc()
 	s.wake()
 	return js, nil
 }
@@ -397,7 +416,7 @@ func (s *Server) submitBatch(ctx context.Context, reqs []SubmitRequest) ([]jobsc
 		if id == "" {
 			id = fmt.Sprintf("job-%d", s.jobSeq.Add(1))
 		}
-		subs = append(subs, jobsched.Submission{ID: id, App: spec})
+		subs = append(subs, jobsched.Submission{ID: id, App: spec, Priority: reqs[i].Priority})
 		idx = append(idx, i)
 	}
 	admitted := uint64(0)
@@ -405,6 +424,7 @@ func (s *Server) submitBatch(ctx context.Context, reqs []SubmitRequest) ([]jobsc
 		out[idx[k]] = r
 		if r.Err == nil {
 			admitted++
+			s.mSubmitsPri[priBucket(r.Status.Priority)].Inc()
 		}
 	}
 	if admitted > 0 {

@@ -118,7 +118,7 @@ func TestBridgeSubmitLifecycle(t *testing.T) {
 	s, fc := bridgeServer(t, jobsched.Config{Bound: 2000}, Options{})
 	ctx := context.Background()
 	fc.Advance(5 * time.Second)
-	js, err := s.submit(ctx, "j1", "comd")
+	js, err := s.submit(ctx, "j1", "comd", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,14 +156,14 @@ func TestBridgeSubmitLifecycle(t *testing.T) {
 func TestBridgeAutoIDAndUnknownApp(t *testing.T) {
 	s, _ := bridgeServer(t, jobsched.Config{Bound: 2000}, Options{})
 	ctx := context.Background()
-	js, err := s.submit(ctx, "", "comd")
+	js, err := s.submit(ctx, "", "comd", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if js.ID != "job-1" {
 		t.Errorf("auto id = %q, want job-1", js.ID)
 	}
-	if _, err := s.submit(ctx, "", "no-such-app"); err == nil {
+	if _, err := s.submit(ctx, "", "no-such-app", 0); err == nil {
 		t.Error("unknown app accepted")
 	}
 }
@@ -171,10 +171,10 @@ func TestBridgeAutoIDAndUnknownApp(t *testing.T) {
 func TestBridgeDrainWithoutStart(t *testing.T) {
 	s, _ := bridgeServer(t, jobsched.Config{Bound: 320}, Options{})
 	ctx := context.Background()
-	if _, err := s.submit(ctx, "a", "comd"); err != nil {
+	if _, err := s.submit(ctx, "a", "comd", 0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.submit(ctx, "b", "comd"); err != nil {
+	if _, err := s.submit(ctx, "b", "comd", 0); err != nil {
 		t.Fatal(err)
 	}
 	final, err := s.Drain(ctx)
@@ -189,7 +189,7 @@ func TestBridgeDrainWithoutStart(t *testing.T) {
 			t.Errorf("job %s after drain: %v, want completed", js.ID, js.State)
 		}
 	}
-	if _, err := s.submit(ctx, "c", "comd"); err == nil {
+	if _, err := s.submit(ctx, "c", "comd", 0); err == nil {
 		t.Error("submit accepted while draining")
 	}
 	// Drain is idempotent.
@@ -207,7 +207,7 @@ func TestAdmissionControlQueueFullAndDeadline(t *testing.T) {
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 		defer cancel()
-		_, err := s.submit(ctx, "w1", "comd")
+		_, err := s.submit(ctx, "w1", "comd", 0)
 		errs <- err
 	}()
 	// Give the first submission time to occupy the single slot.
@@ -217,7 +217,7 @@ func TestAdmissionControlQueueFullAndDeadline(t *testing.T) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
 	defer cancel()
-	_, err := s.submit(ctx, "w2", "comd")
+	_, err := s.submit(ctx, "w2", "comd", 0)
 	if !errors.Is(err, errQueueFull) {
 		t.Errorf("second submit err = %v, want queue-full", err)
 	}
@@ -227,7 +227,7 @@ func TestAdmissionControlQueueFullAndDeadline(t *testing.T) {
 	}
 	s.release()
 	// With the lock free again, submissions flow.
-	if _, err := s.submit(context.Background(), "w3", "comd"); err != nil {
+	if _, err := s.submit(context.Background(), "w3", "comd", 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -171,6 +171,65 @@ type Spec struct {
 
 	// Scaling selects strong (default) or weak scaling across nodes.
 	Scaling Scaling
+
+	// Priority is the default scheduling priority for jobs running this
+	// application. Higher values dispatch first and may preempt running
+	// lower-priority jobs when the power bound is fully committed. Zero
+	// is the normal priority; jobs may override it per submission.
+	Priority int
+
+	// Constraint restricts which nodes the application may run on and
+	// which it prefers. The zero value imposes no restriction.
+	Constraint NodeConstraint
+}
+
+// NodeConstraint expresses node placement restrictions and affinities
+// for an application. Hard constraints (AllowedNodes, MaxPowerEff)
+// shrink the feasible node set; PreferNodes only reorders it.
+type NodeConstraint struct {
+	// AllowedNodes, when non-empty, is the exclusive set of node IDs the
+	// application may be placed on.
+	AllowedNodes []int
+	// MaxPowerEff, when positive, excludes nodes whose PowerEff exceeds
+	// it (higher PowerEff = more watts per unit work).
+	MaxPowerEff float64
+	// PreferNodes lists node IDs to rank ahead of the rest; it never
+	// makes an otherwise-feasible node infeasible.
+	PreferNodes []int
+}
+
+// Zero reports whether the constraint imposes no restriction or
+// preference at all, which lets the scheduler skip the feasibility
+// filter entirely.
+func (c *NodeConstraint) Zero() bool {
+	return len(c.AllowedNodes) == 0 && c.MaxPowerEff == 0 && len(c.PreferNodes) == 0
+}
+
+// Allows reports whether node id with the given power efficiency
+// satisfies the hard constraints.
+func (c *NodeConstraint) Allows(id int, powerEff float64) bool {
+	if c.MaxPowerEff > 0 && powerEff > c.MaxPowerEff {
+		return false
+	}
+	if len(c.AllowedNodes) == 0 {
+		return true
+	}
+	for _, a := range c.AllowedNodes {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Prefers reports whether node id is listed as preferred.
+func (c *NodeConstraint) Prefers(id int) bool {
+	for _, p := range c.PreferNodes {
+		if p == id {
+			return true
+		}
+	}
+	return false
 }
 
 // WeakScaled returns a copy of the spec configured for weak scaling,
@@ -212,6 +271,14 @@ func (s *Spec) Validate() error {
 	}
 	if s.SurfaceExp < 0 || s.SurfaceExp > 1 {
 		return fmt.Errorf("workload %s: SurfaceExp outside [0,1]", s.Name)
+	}
+	if s.Constraint.MaxPowerEff < 0 {
+		return fmt.Errorf("workload %s: negative MaxPowerEff constraint", s.Name)
+	}
+	for _, id := range s.Constraint.AllowedNodes {
+		if id < 0 {
+			return fmt.Errorf("workload %s: negative node id in AllowedNodes", s.Name)
+		}
 	}
 	return nil
 }

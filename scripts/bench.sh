@@ -12,9 +12,10 @@ TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
 BENCHES='BenchmarkCLIPSchedule$|BenchmarkSimRun$|BenchmarkOptimalSearch$'
-# Scale-stress benchmarks (64-node search, 1k-job runtime trace) are
-# heavier per iteration, so they run fewer times.
-BENCHES_LARGE='BenchmarkOptimalSearchLarge$|BenchmarkJobschedThroughput$'
+# Scale-stress benchmarks (64-node search, 1k-job runtime trace plain
+# and with the priority/preemption pipeline live) are heavier per
+# iteration, so they run fewer times.
+BENCHES_LARGE='BenchmarkOptimalSearchLarge$|BenchmarkJobschedThroughput$|BenchmarkJobschedPriorityThroughput$'
 
 echo "== micro-benchmarks ==" >&2
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=50x . | tee "$TMP/bench.txt" >&2
